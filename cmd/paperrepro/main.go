@@ -1,0 +1,61 @@
+// Command paperrepro regenerates every table and figure of the paper's
+// evaluation section (§5) and prints them as text tables, one row per
+// plotted point. With -out it also writes the rendering to a file.
+//
+//	paperrepro            # full horizons (10 simulated hours per run)
+//	paperrepro -quick     # 1/6 horizons, coarser grids (for smoke runs)
+//	paperrepro -only fig3,fig11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pmm/internal/exp"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "shorter horizons and coarser grids")
+		horizon = flag.Float64("horizon", 0, "override simulated seconds per run (0 = defaults)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		only    = flag.String("only", "", "comma-separated report ids (e.g. fig3,table7); empty = all")
+		out     = flag.String("out", "", "also write the reports to this file")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+
+	start := time.Now()
+	reports, err := exp.All(exp.Options{Seed: *seed, Quick: *quick, Horizon: *horizon})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var b strings.Builder
+	for _, rep := range reports {
+		if len(want) > 0 && !want[rep.ID] {
+			continue
+		}
+		b.WriteString(rep.Render())
+		b.WriteByte('\n')
+	}
+	fmt.Print(b.String())
+	fmt.Printf("(%d reports in %.0f s)\n", len(reports), time.Since(start).Seconds())
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command rtdbsim runs a single firm-RTDBS simulation and prints a
+// metrics report. It exposes the main knobs of the paper's model:
+//
+//	rtdbsim -preset baseline -policy pmm -rate 0.06 -hours 10
+//	rtdbsim -preset contention -policy minmax -mpl 10 -rate 0.07
+//	rtdbsim -preset sorts -policy max -rate 0.10 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmm"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "baseline", "workload preset: baseline | contention | sorts | changes | multiclass")
+		policy = flag.String("policy", "pmm", "allocation policy: max | minmax | proportional | pmm | fairpmm")
+		mpl    = flag.Int("mpl", 0, "MPL limit N for minmax/proportional (0 = unlimited)")
+		rate   = flag.Float64("rate", 0, "arrival rate of the first class in queries/sec (0 = preset default)")
+		small  = flag.Float64("small", 0.4, "Small-class arrival rate (multiclass preset only)")
+		hours  = flag.Float64("hours", 10, "simulated hours")
+		seed   = flag.Int64("seed", 1, "random seed")
+		disks  = flag.Int("disks", 0, "number of disks (0 = preset default)")
+		memory = flag.Int("memory", 0, "buffer pool pages M (0 = preset default)")
+		trace  = flag.Bool("trace", false, "print the PMM decision trace")
+	)
+	flag.Parse()
+
+	var cfg pmm.Config
+	switch *preset {
+	case "baseline":
+		cfg = pmm.BaselineConfig()
+	case "contention":
+		cfg = pmm.DiskContentionConfig()
+	case "sorts":
+		cfg = pmm.ExternalSortConfig()
+	case "changes":
+		cfg = pmm.WorkloadChangeConfig()
+	case "multiclass":
+		cfg = pmm.MulticlassConfig(*small)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	switch strings.ToLower(*policy) {
+	case "max":
+		cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyMax}
+	case "minmax":
+		cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyMinMax, MPLLimit: *mpl}
+	case "proportional":
+		cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyProportional, MPLLimit: *mpl}
+	case "pmm":
+		cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyPMM}
+	case "fairpmm":
+		cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyFairPMM}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	if *rate > 0 {
+		cfg.Classes[0].ArrivalRate = *rate
+		if len(cfg.Phases) > 0 {
+			for pi := range cfg.Phases {
+				if cfg.Phases[pi].Rates[0] > 0 {
+					cfg.Phases[pi].Rates[0] = *rate
+				}
+			}
+		}
+	}
+	cfg.Duration = *hours * 3600
+	cfg.Seed = *seed
+	if *disks > 0 {
+		cfg.Disk = pmm.DefaultDiskParams()
+		cfg.Disk.NumDisks = *disks
+	}
+	if *memory > 0 {
+		cfg.MemoryPages = *memory
+	}
+
+	res, err := pmm.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("policy            %s\n", res.Policy)
+	fmt.Printf("simulated         %.0f s\n", res.Duration)
+	fmt.Printf("arrived           %d\n", res.Arrived)
+	fmt.Printf("terminated        %d (completed %d, missed %d)\n", res.Terminated, res.Completed, res.Missed)
+	fmt.Printf("miss ratio        %.2f%% (±%.2f%% at 90%%)\n", 100*res.MissRatio, 100*res.MissRatioHW90)
+	for _, c := range res.PerClass {
+		fmt.Printf("  class %-8s  %d terminated, %.2f%% missed\n", c.Name, c.Terminated, 100*c.MissRatio)
+	}
+	fmt.Printf("avg waiting       %.1f s\n", res.AvgWait)
+	fmt.Printf("avg execution     %.1f s\n", res.AvgExec)
+	fmt.Printf("avg response      %.1f s\n", res.AvgResponse)
+	fmt.Printf("observed MPL      %.2f\n", res.AvgMPL)
+	fmt.Printf("disk utilization  %.1f%% avg, %.1f%% max; CPU %.1f%%\n",
+		100*res.AvgDiskUtil, 100*res.MaxDiskUtil, 100*res.CPUUtil)
+	fmt.Printf("mem fluctuations  %.2f per query\n", res.AvgFluctuations)
+	fmt.Printf("I/O amplification %.2f (pages: %d read, %d spooled out, %d spooled in)\n",
+		res.AvgIOAmplification, res.IOBreakdown.RelRead, res.IOBreakdown.SpoolWrite, res.IOBreakdown.SpoolRead)
+	if *trace && len(res.PMMTrace) > 0 {
+		fmt.Println("\nPMM trace (time, mode, target, realized MPL, batch miss%):")
+		for _, pt := range res.PMMTrace {
+			target := fmt.Sprintf("%d", pt.Target)
+			if pt.Target == 0 {
+				target = "inf"
+			}
+			reset := ""
+			if pt.Restart {
+				reset = "  [workload change: reset]"
+			}
+			fmt.Printf("  %7.0f  %-6s  %4s  %6.2f  %5.1f%%%s\n",
+				pt.Time, pt.Mode, target, pt.Realized, 100*pt.MissRatio, reset)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Overload: the paper's §5.1 story — how the four memory-allocation
+// algorithms degrade as a firm real-time query workload intensifies.
+// Max insists on full allocations and serializes on memory; MinMax and
+// Proportional admit freely and spool; PMM adapts between the regimes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmm"
+)
+
+func main() {
+	rates := []float64{0.03, 0.05, 0.07}
+	policies := []pmm.PolicyConfig{
+		{Kind: pmm.PolicyMax},
+		{Kind: pmm.PolicyMinMax},
+		{Kind: pmm.PolicyProportional},
+		{Kind: pmm.PolicyPMM},
+	}
+
+	fmt.Println("miss ratio % (rows: arrival rate; columns: algorithm)")
+	fmt.Printf("%8s", "rate")
+	for _, pol := range policies {
+		fmt.Printf("  %14s", (pmm.Config{Policy: pol}).PolicyName())
+	}
+	fmt.Println()
+
+	for _, rate := range rates {
+		fmt.Printf("%8.2f", rate)
+		for _, pol := range policies {
+			cfg := pmm.BaselineConfig()
+			cfg.Duration = 6000
+			cfg.Classes[0].ArrivalRate = rate
+			cfg.Policy = pol
+			res, err := pmm.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %13.1f%%", 100*res.MissRatio)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(10-hour horizons and the full rate grid: go run ./cmd/paperrepro)")
+}

@@ -1,0 +1,50 @@
+// Tuning: sensitivity of PMM to its Table 1 parameters. The paper's
+// §5.4 finds the desirable-utilization floor UtilLow barely matters
+// (PMM leans on it only right after startup); this example also varies
+// SampleSize, which trades adaptation speed against statistical noise.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmm"
+)
+
+func run(cfg pmm.Config) *pmm.Results {
+	res, err := pmm.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	base := func() pmm.Config {
+		cfg := pmm.BaselineConfig()
+		cfg.Duration = 6000
+		cfg.Classes[0].ArrivalRate = 0.06
+		return cfg
+	}
+
+	fmt.Println("UtilLow sensitivity (paper §5.4: should be flat):")
+	for _, lo := range []float64{0.50, 0.60, 0.70, 0.80} {
+		cfg := base()
+		p := pmm.DefaultPMMConfig()
+		p.UtilLow = lo
+		cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyPMM, PMM: p}
+		res := run(cfg)
+		fmt.Printf("  UtilLow %.2f: miss %5.1f%%, MPL %.2f\n", lo, 100*res.MissRatio, res.AvgMPL)
+	}
+
+	fmt.Println("\nSampleSize sensitivity (re-evaluation frequency):")
+	for _, n := range []int{10, 30, 90} {
+		cfg := base()
+		p := pmm.DefaultPMMConfig()
+		p.SampleSize = n
+		cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyPMM, PMM: p}
+		res := run(cfg)
+		fmt.Printf("  SampleSize %3d: miss %5.1f%%, MPL %.2f, %d batches\n",
+			n, 100*res.MissRatio, res.AvgMPL, len(res.PMMTrace))
+	}
+}

@@ -1,0 +1,147 @@
+// Package buffer implements the simulated buffer manager of §4.2: a pool
+// of M pages with a reservation mechanism that lets query operators
+// (sorts and joins) reserve buffers for use as workspaces, while page
+// replacement for the non-reserved remainder follows the LRU policy.
+// Reserved buffers are managed by the operators themselves, so the pool
+// tracks only their counts; the LRU cache tracks page identities for the
+// unreserved portion and shrinks as reservations grow.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageKey identifies a cached page: a file (relation or temp) and a page
+// number within it.
+type PageKey struct {
+	File int64
+	Page int32
+}
+
+// Pool is the buffer pool.
+type Pool struct {
+	total    int
+	reserved map[int64]int // reservation per owner id
+	sumRes   int
+
+	lru     *list.List // front = most recent; values are PageKey
+	lruPos  map[PageKey]*list.Element
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+// NewPool returns a pool of `total` pages with no reservations.
+func NewPool(total int) *Pool {
+	if total <= 0 {
+		panic(fmt.Sprintf("buffer: pool of %d pages", total))
+	}
+	return &Pool{
+		total:    total,
+		reserved: make(map[int64]int),
+		lru:      list.New(),
+		lruPos:   make(map[PageKey]*list.Element),
+	}
+}
+
+// Total returns the pool size M in pages.
+func (p *Pool) Total() int { return p.total }
+
+// Reserved returns the total pages currently reserved by all owners.
+func (p *Pool) Reserved() int { return p.sumRes }
+
+// Free returns the unreserved page count (the LRU cache's capacity).
+func (p *Pool) Free() int { return p.total - p.sumRes }
+
+// ReservationOf returns owner's current reservation.
+func (p *Pool) ReservationOf(owner int64) int { return p.reserved[owner] }
+
+// SetReservation adjusts owner's reservation to n pages, evicting cached
+// LRU pages if the unreserved pool shrinks below its occupancy. It
+// panics if the change would over-commit the pool: allocation policies
+// must never hand out more than M pages in total.
+func (p *Pool) SetReservation(owner int64, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("buffer: negative reservation %d", n))
+	}
+	old := p.reserved[owner]
+	if p.sumRes-old+n > p.total {
+		panic(fmt.Sprintf("buffer: over-commit: %d reserved + %d requested > %d total",
+			p.sumRes-old, n, p.total))
+	}
+	if n == 0 {
+		delete(p.reserved, owner)
+	} else {
+		p.reserved[owner] = n
+	}
+	p.sumRes += n - old
+	p.shrinkLRU()
+}
+
+// Release drops owner's reservation entirely.
+func (p *Pool) Release(owner int64) { p.SetReservation(owner, 0) }
+
+// shrinkLRU evicts least-recently-used pages until the cache fits the
+// unreserved pool.
+func (p *Pool) shrinkLRU() {
+	for p.lru.Len() > p.Free() {
+		back := p.lru.Back()
+		delete(p.lruPos, back.Value.(PageKey))
+		p.lru.Remove(back)
+		p.evicted++
+	}
+}
+
+// Lookup reports whether the page is cached in the unreserved pool and,
+// if so, promotes it to most recently used.
+func (p *Pool) Lookup(key PageKey) bool {
+	if el, ok := p.lruPos[key]; ok {
+		p.lru.MoveToFront(el)
+		p.hits++
+		return true
+	}
+	p.misses++
+	return false
+}
+
+// Insert caches a page just read from disk, evicting the LRU page if the
+// unreserved pool is full. With no unreserved space the page simply is
+// not cached.
+func (p *Pool) Insert(key PageKey) {
+	if p.Free() == 0 {
+		return
+	}
+	if el, ok := p.lruPos[key]; ok {
+		p.lru.MoveToFront(el)
+		return
+	}
+	if p.lru.Len() >= p.Free() {
+		back := p.lru.Back()
+		delete(p.lruPos, back.Value.(PageKey))
+		p.lru.Remove(back)
+		p.evicted++
+	}
+	p.lruPos[key] = p.lru.PushFront(key)
+}
+
+// Invalidate drops all cached pages of the given file, e.g. when a temp
+// file is deleted and its identity may be recycled.
+func (p *Pool) Invalidate(file int64) {
+	for el := p.lru.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(PageKey).File == file {
+			delete(p.lruPos, el.Value.(PageKey))
+			p.lru.Remove(el)
+		}
+		el = next
+	}
+}
+
+// Stats returns cache hit/miss/eviction counters.
+func (p *Pool) Stats() (hits, misses, evicted uint64) {
+	return p.hits, p.misses, p.evicted
+}
+
+// Cached returns the number of pages currently in the LRU cache.
+func (p *Pool) Cached() int { return p.lru.Len() }

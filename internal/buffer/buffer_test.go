@@ -1,0 +1,165 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReservationAccounting(t *testing.T) {
+	p := NewPool(100)
+	if p.Free() != 100 || p.Total() != 100 {
+		t.Fatalf("fresh pool free=%d total=%d", p.Free(), p.Total())
+	}
+	p.SetReservation(1, 40)
+	p.SetReservation(2, 30)
+	if p.Reserved() != 70 || p.Free() != 30 {
+		t.Fatalf("reserved=%d free=%d", p.Reserved(), p.Free())
+	}
+	p.SetReservation(1, 10) // shrink
+	if p.Reserved() != 40 || p.ReservationOf(1) != 10 {
+		t.Fatalf("after shrink reserved=%d", p.Reserved())
+	}
+	p.Release(2)
+	if p.Reserved() != 10 || p.ReservationOf(2) != 0 {
+		t.Fatalf("after release reserved=%d", p.Reserved())
+	}
+}
+
+func TestOverCommitPanics(t *testing.T) {
+	p := NewPool(100)
+	p.SetReservation(1, 80)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-commit did not panic")
+		}
+	}()
+	p.SetReservation(2, 21)
+}
+
+func TestNegativeReservationPanics(t *testing.T) {
+	p := NewPool(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative reservation did not panic")
+		}
+	}()
+	p.SetReservation(1, -1)
+}
+
+func TestLRUHitAndMiss(t *testing.T) {
+	p := NewPool(3)
+	k1 := PageKey{File: 1, Page: 0}
+	k2 := PageKey{File: 1, Page: 1}
+	if p.Lookup(k1) {
+		t.Fatal("empty cache hit")
+	}
+	p.Insert(k1)
+	p.Insert(k2)
+	if !p.Lookup(k1) || !p.Lookup(k2) {
+		t.Fatal("cached pages missing")
+	}
+	hits, misses, _ := p.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	p := NewPool(2)
+	a := PageKey{File: 1, Page: 0}
+	b := PageKey{File: 1, Page: 1}
+	c := PageKey{File: 1, Page: 2}
+	p.Insert(a)
+	p.Insert(b)
+	p.Lookup(a) // a becomes most recent
+	p.Insert(c) // evicts b
+	if p.Lookup(b) {
+		t.Fatal("b should have been evicted")
+	}
+	if !p.Lookup(a) || !p.Lookup(c) {
+		t.Fatal("a and c should remain")
+	}
+}
+
+func TestReservationShrinksCache(t *testing.T) {
+	p := NewPool(10)
+	for i := 0; i < 10; i++ {
+		p.Insert(PageKey{File: 1, Page: int32(i)})
+	}
+	if p.Cached() != 10 {
+		t.Fatalf("cached=%d", p.Cached())
+	}
+	p.SetReservation(1, 7)
+	if p.Cached() != 3 {
+		t.Fatalf("cache not trimmed: %d pages cached, 3 free", p.Cached())
+	}
+	// With zero free space, inserts are silently skipped.
+	p.SetReservation(1, 10)
+	p.Insert(PageKey{File: 2, Page: 0})
+	if p.Cached() != 0 {
+		t.Fatalf("cache should be empty, has %d", p.Cached())
+	}
+}
+
+func TestInvalidateFile(t *testing.T) {
+	p := NewPool(10)
+	for i := 0; i < 4; i++ {
+		p.Insert(PageKey{File: 1, Page: int32(i)})
+		p.Insert(PageKey{File: 2, Page: int32(i)})
+	}
+	p.Invalidate(1)
+	for i := 0; i < 4; i++ {
+		if p.Lookup(PageKey{File: 1, Page: int32(i)}) {
+			t.Fatal("invalidated page still cached")
+		}
+		if !p.Lookup(PageKey{File: 2, Page: int32(i)}) {
+			t.Fatal("unrelated page evicted")
+		}
+	}
+}
+
+func TestReinsertPromotes(t *testing.T) {
+	p := NewPool(2)
+	a := PageKey{File: 1, Page: 0}
+	b := PageKey{File: 1, Page: 1}
+	c := PageKey{File: 1, Page: 2}
+	p.Insert(a)
+	p.Insert(b)
+	p.Insert(a) // promote, not duplicate
+	p.Insert(c) // should evict b (LRU), not a
+	if p.Lookup(b) {
+		t.Fatal("b should be evicted")
+	}
+	if !p.Lookup(a) {
+		t.Fatal("a should survive (promoted by reinsert)")
+	}
+}
+
+func TestCacheInvariantProperty(t *testing.T) {
+	// Property: the cache never exceeds the unreserved pool and the
+	// reservation ledger never exceeds the total.
+	f := func(ops []uint16) bool {
+		p := NewPool(64)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				owner := int64(op%5) + 1
+				n := int(op % 64)
+				if p.Reserved()-p.ReservationOf(owner)+n <= p.Total() {
+					p.SetReservation(owner, n)
+				}
+			case 1:
+				p.Insert(PageKey{File: int64(op % 7), Page: int32(op % 100)})
+			case 2:
+				p.Lookup(PageKey{File: int64(op % 7), Page: int32(op % 100)})
+			}
+			if p.Cached() > p.Free() || p.Reserved() > p.Total() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

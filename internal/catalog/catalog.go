@@ -1,0 +1,136 @@
+// Package catalog builds the simulated database of §4.1: NumGroups
+// groups of relations, each group contributing RelPerDisk clustered
+// relations per disk with sizes chosen at equal intervals from the
+// group's SizeRange. Relations are placed on the middle cylinders of
+// their disk in shuffled order, matching the paper's random placement.
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pmm/internal/disk"
+	"pmm/internal/sim"
+)
+
+// GroupSpec describes one relation group.
+type GroupSpec struct {
+	// RelPerDisk is the number of relations this group places on each disk.
+	RelPerDisk int
+	// SizeRange is the inclusive [min, max] relation size in pages;
+	// sizes are spaced at equal intervals across it.
+	SizeRange [2]int
+}
+
+// Sizes returns the relation sizes for one disk: RelPerDisk values at
+// equal intervals over SizeRange (e.g. 5 relations over [100,200] are
+// 100, 125, 150, 175, 200 — the paper's own example). A single relation
+// sits at the midpoint.
+func (g GroupSpec) Sizes() []int {
+	k := g.RelPerDisk
+	lo, hi := g.SizeRange[0], g.SizeRange[1]
+	if k == 1 {
+		return []int{(lo + hi) / 2}
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = lo + i*(hi-lo)/(k-1)
+	}
+	return out
+}
+
+// Relation is one stored relation.
+type Relation struct {
+	// ID is unique and positive (temporary files use negative file ids).
+	ID int64
+	// Group is the index of the relation's group.
+	Group int
+	// Pages is the relation size.
+	Pages int
+	// Tuples is the cardinality.
+	Tuples int
+	extent *disk.Extent
+}
+
+// Extent returns the relation's on-disk extent.
+func (r *Relation) Extent() *disk.Extent { return r.extent }
+
+// Catalog is the full database.
+type Catalog struct {
+	groups        [][]*Relation
+	tuplesPerPage int
+}
+
+// CylindersNeeded returns the per-disk cylinder count required to store
+// one disk's share of every group, for sizing the disk manager's
+// relation band before Build.
+func CylindersNeeded(groups []GroupSpec, cylinderSize int) int {
+	total := 0
+	for _, g := range groups {
+		for _, pages := range g.Sizes() {
+			total += (pages + cylinderSize - 1) / cylinderSize
+		}
+	}
+	return total
+}
+
+// Build creates and places the database. Placement order is shuffled per
+// disk with a stream derived from seed, scattering each group's
+// relations across the middle band.
+func Build(m *disk.Manager, groups []GroupSpec, tuplesPerPage int, seed int64) (*Catalog, error) {
+	if tuplesPerPage <= 0 {
+		return nil, fmt.Errorf("catalog: tuplesPerPage = %d", tuplesPerPage)
+	}
+	c := &Catalog{
+		groups:        make([][]*Relation, len(groups)),
+		tuplesPerPage: tuplesPerPage,
+	}
+	nextID := int64(1)
+	for di := 0; di < m.NumDisks(); di++ {
+		d := m.Disk(di)
+		// Gather this disk's relations across all groups, then shuffle.
+		type pending struct {
+			group, pages int
+		}
+		var todo []pending
+		for gi, g := range groups {
+			for _, pages := range g.Sizes() {
+				todo = append(todo, pending{group: gi, pages: pages})
+			}
+		}
+		rng := rand.New(rand.NewSource(sim.SplitSeed(seed, uint64(5000+di))))
+		rng.Shuffle(len(todo), func(i, j int) { todo[i], todo[j] = todo[j], todo[i] })
+		for _, t := range todo {
+			ext, err := d.PlaceRelation(t.pages)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: placing %d pages of group %d on disk %d: %w",
+					t.pages, t.group, di, err)
+			}
+			rel := &Relation{
+				ID:     nextID,
+				Group:  t.group,
+				Pages:  t.pages,
+				Tuples: t.pages * tuplesPerPage,
+				extent: ext,
+			}
+			nextID++
+			c.groups[t.group] = append(c.groups[t.group], rel)
+		}
+	}
+	return c, nil
+}
+
+// TuplesPerPage returns the tuple density used throughout the system.
+func (c *Catalog) TuplesPerPage() int { return c.tuplesPerPage }
+
+// NumGroups returns the number of relation groups.
+func (c *Catalog) NumGroups() int { return len(c.groups) }
+
+// Group returns all relations of group gi, across all disks.
+func (c *Catalog) Group(gi int) []*Relation { return c.groups[gi] }
+
+// Pick returns a uniformly random relation from group gi.
+func (c *Catalog) Pick(rng *rand.Rand, gi int) *Relation {
+	rels := c.groups[gi]
+	return rels[rng.Intn(len(rels))]
+}

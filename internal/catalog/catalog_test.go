@@ -1,0 +1,120 @@
+package catalog
+
+import (
+	"testing"
+
+	"pmm/internal/disk"
+	"pmm/internal/sim"
+)
+
+func build(t *testing.T, groups []GroupSpec, disks int) (*Catalog, *disk.Manager) {
+	t.Helper()
+	k := sim.NewKernel()
+	p := disk.DefaultParams()
+	p.NumDisks = disks
+	m, err := disk.NewManager(k, p, CylindersNeeded(groups, p.CylinderSize), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(m, groups, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m
+}
+
+func TestSizesEqualIntervals(t *testing.T) {
+	g := GroupSpec{RelPerDisk: 5, SizeRange: [2]int{100, 200}}
+	got := g.Sizes()
+	want := []int{100, 125, 150, 175, 200} // the paper's own example
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sizes %v, want %v", got, want)
+		}
+	}
+	single := GroupSpec{RelPerDisk: 1, SizeRange: [2]int{100, 200}}
+	if s := single.Sizes(); len(s) != 1 || s[0] != 150 {
+		t.Fatalf("single relation sizes %v", s)
+	}
+}
+
+func TestBuildPlacesAllRelations(t *testing.T) {
+	groups := []GroupSpec{
+		{RelPerDisk: 3, SizeRange: [2]int{600, 1800}},
+		{RelPerDisk: 2, SizeRange: [2]int{3000, 9000}},
+	}
+	c, _ := build(t, groups, 4)
+	if c.NumGroups() != 2 {
+		t.Fatalf("groups = %d", c.NumGroups())
+	}
+	if n := len(c.Group(0)); n != 3*4 {
+		t.Fatalf("group 0 has %d relations, want 12", n)
+	}
+	if n := len(c.Group(1)); n != 2*4 {
+		t.Fatalf("group 1 has %d relations, want 8", n)
+	}
+	seen := map[int64]bool{}
+	for gi := 0; gi < 2; gi++ {
+		for _, r := range c.Group(gi) {
+			if seen[r.ID] {
+				t.Fatalf("duplicate relation id %d", r.ID)
+			}
+			seen[r.ID] = true
+			if r.Tuples != r.Pages*40 {
+				t.Fatalf("tuple count %d for %d pages", r.Tuples, r.Pages)
+			}
+			if r.Extent() == nil || r.Extent().Pages() != r.Pages {
+				t.Fatal("bad extent")
+			}
+		}
+	}
+}
+
+func TestCylindersNeededMatchesPlacement(t *testing.T) {
+	groups := []GroupSpec{{RelPerDisk: 5, SizeRange: [2]int{600, 1800}}}
+	// If CylindersNeeded under-reported, Build would fail.
+	if _, m := build(t, groups, 2); m == nil {
+		t.Fatal("build failed")
+	}
+}
+
+func TestPickUniform(t *testing.T) {
+	groups := []GroupSpec{{RelPerDisk: 3, SizeRange: [2]int{600, 1800}}}
+	c, _ := build(t, groups, 2)
+	rng := sim.NewRand(1, 0)
+	counts := map[int64]int{}
+	const n = 6000
+	for i := 0; i < n; i++ {
+		counts[c.Pick(rng, 0).ID]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("picked %d distinct relations, want 6", len(counts))
+	}
+	for id, cnt := range counts {
+		if cnt < n/6-300 || cnt > n/6+300 {
+			t.Fatalf("relation %d picked %d times, expected ≈%d", id, cnt, n/6)
+		}
+	}
+}
+
+func TestBuildDeterministicPlacement(t *testing.T) {
+	groups := []GroupSpec{{RelPerDisk: 4, SizeRange: [2]int{100, 400}}}
+	a, _ := build(t, groups, 3)
+	b, _ := build(t, groups, 3)
+	for i, ra := range a.Group(0) {
+		rb := b.Group(0)[i]
+		if ra.Pages != rb.Pages || ra.Extent().StartCylinder() != rb.Extent().StartCylinder() {
+			t.Fatal("placement not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestBuildRejectsBadTupleDensity(t *testing.T) {
+	k := sim.NewKernel()
+	p := disk.DefaultParams()
+	p.NumDisks = 1
+	m, _ := disk.NewManager(k, p, 100, 1)
+	if _, err := Build(m, []GroupSpec{{RelPerDisk: 1, SizeRange: [2]int{90, 90}}}, 0, 1); err == nil {
+		t.Fatal("zero tuples per page accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"pmm/internal/sim"
+)
+
+func TestSecondsConversion(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, 40)
+	if got := c.Seconds(40e6); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("40M instructions at 40 MIPS = %g s, want 1", got)
+	}
+	if c.MIPS() != 40 {
+		t.Fatalf("MIPS = %g", c.MIPS())
+	}
+}
+
+func TestRunConsumesTime(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, 40)
+	var done float64
+	k.Spawn("worker", func(p *sim.Proc) {
+		if !c.Run(p, 1, 80e6) {
+			t.Error("unexpected interrupt")
+		}
+		done = p.Now()
+	})
+	k.Drain()
+	if math.Abs(done-2) > 1e-9 {
+		t.Fatalf("80M instructions finished at %g, want 2", done)
+	}
+	if got := c.Meter().BusyTime(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("busy time %g", got)
+	}
+}
+
+func TestZeroInstructionsFree(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, 40)
+	k.Spawn("worker", func(p *sim.Proc) {
+		if !c.Run(p, 1, 0) {
+			t.Error("zero-cost run failed")
+		}
+		if p.Now() != 0 {
+			t.Errorf("zero instructions took %g s", p.Now())
+		}
+	})
+	k.Drain()
+}
+
+func TestEDOrderOnCPU(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, 1)
+	var order []string
+	k.Spawn("first", func(p *sim.Proc) { c.Run(p, 0, 5e6) })
+	k.At(1, func() {
+		k.Spawn("late-deadline", func(p *sim.Proc) {
+			c.Run(p, 100, 1e6)
+			order = append(order, "late")
+		})
+		k.Spawn("early-deadline", func(p *sim.Proc) {
+			c.Run(p, 10, 1e6)
+			order = append(order, "early")
+		})
+	})
+	k.Drain()
+	if len(order) != 2 || order[0] != "early" {
+		t.Fatalf("ED order violated: %v", order)
+	}
+}
+
+func TestNegativeInstructionsPanics(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, 40)
+	k.Spawn("worker", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative instruction count did not panic")
+			}
+		}()
+		c.Run(p, 1, -5)
+	})
+	defer func() { recover() }() // the kernel re-raises the proc panic
+	k.Drain()
+}
+
+func TestCostTableValues(t *testing.T) {
+	// The Table 4 constants are load-bearing for calibration; pin them.
+	if CostStartIO != 1000 || CostInitQuery != 40000 || CostTermQuery != 10000 {
+		t.Fatal("common operation costs drifted from Table 4")
+	}
+	if CostHashBuild != 100 || CostHashProbe != 200 || CostHashCopy != 100 {
+		t.Fatal("hash join costs drifted from Table 4")
+	}
+	if CostSortCopy != 64 || CostCompare != 50 {
+		t.Fatal("sort costs drifted from Table 4")
+	}
+}

@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"fmt"
+
+	"pmm"
+)
+
+// baselinePolicies are the four algorithms Figure 3 compares.
+func baselinePolicies() []pmm.PolicyConfig {
+	return []pmm.PolicyConfig{
+		{Kind: pmm.PolicyMax},
+		{Kind: pmm.PolicyMinMax},
+		{Kind: pmm.PolicyProportional},
+		{Kind: pmm.PolicyPMM},
+	}
+}
+
+// baselineRates is the Figure 3 arrival-rate axis.
+func (o Options) baselineRates() []float64 {
+	if o.Quick {
+		return []float64{0.04, 0.06, 0.08}
+	}
+	return []float64{0.04, 0.05, 0.06, 0.07, 0.08}
+}
+
+// Baseline reproduces the §5.1 experiment: Figures 3 (miss ratio),
+// 4 (disk utilization), 5 (observed MPL), 7 (memory fluctuations) and
+// Table 7 (timings), all over the same sweep of arrival rates and the
+// four algorithms.
+func Baseline(o Options) ([]*Report, error) {
+	rates := o.baselineRates()
+	var specs []runSpec
+	for _, rate := range rates {
+		for _, pol := range baselinePolicies() {
+			cfg := pmm.BaselineConfig()
+			cfg.Seed = o.Seed
+			cfg.Duration = o.horizon(36000)
+			cfg.Classes[0].ArrivalRate = rate
+			cfg.Policy = pol
+			specs = append(specs, runSpec{key: fmt.Sprintf("%g/%d/%d", rate, pol.Kind, pol.MPLLimit), cfg: cfg})
+		}
+	}
+	res, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	get := func(rate float64, pol pmm.PolicyConfig) *pmm.Results {
+		return res[fmt.Sprintf("%g/%d/%d", rate, pol.Kind, pol.MPLLimit)]
+	}
+	pols := baselinePolicies()
+	header := []string{"arrival rate"}
+	for _, pol := range pols {
+		header = append(header, (pmm.Config{Policy: pol}).PolicyName())
+	}
+	metricReport := func(id, title string, metric func(*pmm.Results) string) *Report {
+		rep := &Report{ID: id, Title: title, Header: header}
+		for _, rate := range rates {
+			row := []string{fmt.Sprintf("%.2f", rate)}
+			for _, pol := range pols {
+				row = append(row, metric(get(rate, pol)))
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+		return rep
+	}
+
+	fig3 := metricReport("fig3", "Miss Ratio %% (Baseline)",
+		func(r *pmm.Results) string { return pct(r.MissRatio) })
+	fig3.Notes = append(fig3.Notes, "paper: MinMax lowest, PMM close behind, Proportional then Max degrade fastest")
+	fig4 := metricReport("fig4", "Avg Disk Utilization %% (Baseline)",
+		func(r *pmm.Results) string { return pct(r.AvgDiskUtil) })
+	fig4.Notes = append(fig4.Notes, "paper: Max stays flat (~15%), others rise toward ~45%")
+	fig5 := metricReport("fig5", "Observed MPL (Baseline)",
+		func(r *pmm.Results) string { return f2(r.AvgMPL) })
+	fig5.Notes = append(fig5.Notes, "paper: Max < 2; MinMax and Proportional grow with load")
+	fig7 := metricReport("fig7", "Memory Fluctuations per Query (Baseline)",
+		func(r *pmm.Results) string { return f2(r.AvgFluctuations) })
+	fig7.Notes = append(fig7.Notes, "paper: Proportional by far the most; Max near zero")
+
+	table7 := &Report{
+		ID:    "table7",
+		Title: "Average Timings, seconds (Baseline)",
+		Header: append([]string{"algorithm", "metric"}, func() []string {
+			var h []string
+			for _, rate := range rates {
+				h = append(h, fmt.Sprintf("%.2f", rate))
+			}
+			return h
+		}()...),
+	}
+	for _, pol := range pols {
+		name := (pmm.Config{Policy: pol}).PolicyName()
+		rows := [][]string{
+			{name, "waiting"}, {name, "execution"}, {name, "total"},
+		}
+		for _, rate := range rates {
+			r := get(rate, pol)
+			rows[0] = append(rows[0], f1(r.AvgWait))
+			rows[1] = append(rows[1], f1(r.AvgExec))
+			rows[2] = append(rows[2], f1(r.AvgResponse))
+		}
+		table7.Rows = append(table7.Rows, rows...)
+	}
+	table7.Notes = append(table7.Notes,
+		"averages over completed queries; paper: Max wait-dominated, MinMax/Proportional zero wait")
+
+	return []*Report{fig3, fig4, fig5, table7, fig7}, nil
+}
+
+// PMMTraceBaseline reproduces Figure 6: PMM's target-MPL trace over the
+// first ten hours of the baseline at λ = 0.075.
+func PMMTraceBaseline(o Options) ([]*Report, error) {
+	cfg := pmm.BaselineConfig()
+	cfg.Seed = o.Seed
+	cfg.Duration = o.horizon(36000)
+	cfg.Classes[0].ArrivalRate = 0.075
+	cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyPMM}
+	res, err := pmm.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "fig6",
+		Title:  "PMM Target MPL Trace (Baseline, λ=0.075)",
+		Header: []string{"time s", "mode", "target MPL", "realized MPL", "batch miss %", "util %", "curve"},
+	}
+	for _, pt := range res.PMMTrace {
+		target := fmt.Sprintf("%d", pt.Target)
+		if pt.Target == 0 {
+			target = "∞"
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%.0f", pt.Time), pt.Mode.String(), target,
+			f2(pt.Realized), pct(pt.MissRatio), pct(pt.Util), pt.Curve,
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: starts in Max, switches to MinMax with an RU-suggested target, then the projection settles the target within a few batches")
+	return []*Report{rep}, nil
+}

@@ -1,0 +1,159 @@
+// Package exp defines the reproduction experiments: one driver per
+// figure and table of the paper's evaluation (§5), mapped in DESIGN.md's
+// per-experiment index. Drivers assemble configurations from the public
+// presets, run them (in parallel across CPUs; each simulation itself is
+// deterministic and single-threaded), and render plain-text tables whose
+// rows correspond to the points of the original figures.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"pmm"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Seed drives all random streams.
+	Seed int64
+	// Quick shrinks horizons and grids for smoke runs and benchmarks.
+	Quick bool
+	// Horizon, when positive, overrides the simulated duration of every
+	// run (tests use very small values).
+	Horizon float64
+}
+
+// horizon returns the simulated duration to use.
+func (o Options) horizon(full float64) float64 {
+	if o.Horizon > 0 {
+		return o.Horizon
+	}
+	if o.Quick {
+		return full / 6
+	}
+	return full
+}
+
+// Report is one rendered table, corresponding to one figure or table.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the report as an aligned text table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// runSpec names one simulation to execute.
+type runSpec struct {
+	key string
+	cfg pmm.Config
+}
+
+// runAll executes the specs concurrently (one goroutine per CPU) and
+// returns results by key. Each simulation is independent and internally
+// deterministic, so the map contents do not depend on scheduling.
+func runAll(specs []runSpec) (map[string]*pmm.Results, error) {
+	results := make(map[string]*pmm.Results, len(specs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, sp := range specs {
+		sp := sp
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			res, err := pmm.Run(sp.cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("run %s: %w", sp.key, err)
+			}
+			results[sp.key] = res
+		}()
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// pct renders a ratio as a percentage with one decimal.
+func pct(x float64) string { return fmt.Sprintf("%.1f", 100*x) }
+
+// f1 renders a float with one decimal.
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// f2 renders a float with two decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// sortedKeys returns map keys in sorted order (deterministic output).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// All runs every experiment and returns the reports in paper order.
+func All(o Options) ([]*Report, error) {
+	var out []*Report
+	steps := []func(Options) ([]*Report, error){
+		Baseline,
+		PMMTraceBaseline,
+		DiskContention,
+		MinMaxNSweep,
+		WorkloadChanges,
+		UtilLowSensitivity,
+		ExternalSorts,
+		Multiclass,
+		Scalability,
+	}
+	for _, step := range steps {
+		reports, err := step(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, reports...)
+	}
+	return out, nil
+}

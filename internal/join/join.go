@@ -1,0 +1,439 @@
+// Package join implements the memory-adaptive hash join the paper builds
+// on: Partially Preemptible Hash Join (PPHJ) with late contraction, late
+// expansion, and spooling [Pang93a].
+//
+// PPHJ splits the inner relation R into B partitions. Expanded partitions
+// are held as in-memory hash tables (costing F pages of memory per raw
+// page of data, F the hash fudge factor); contracted partitions reside on
+// disk, each holding one output buffer page for arriving tuples. When the
+// memory manager shrinks the query's allocation, PPHJ frees buffers by
+// contracting partitions (spooling their pages); when extra memory shows
+// up while the outer relation S is being split, contracted partitions are
+// expanded (read back) so that subsequent S tuples join directly instead
+// of being spooled for a later pass.
+//
+// Because hashing distributes tuples uniformly, the B partitions grow in
+// lockstep, so the simulation tracks the per-partition raw size once and
+// only distinguishes how many partitions are expanded — an exact model of
+// the symmetric case that keeps per-block work O(1).
+package join
+
+import (
+	"math"
+
+	"pmm/internal/cpu"
+	"pmm/internal/query"
+)
+
+// NumPartitions returns the PPHJ partition count for an inner relation of
+// rPages: the smallest B with B·(B−1) ≥ F·rPages, which guarantees that a
+// single partition's hash table plus an input buffer fit within the
+// minimum allocation of B+1 pages during the cleanup pass.
+func NumPartitions(rPages int, f float64) int {
+	need := f * float64(rPages)
+	b := int(math.Ceil((1 + math.Sqrt(1+4*need)) / 2))
+	if b < 1 {
+		b = 1
+	}
+	for float64(b)*float64(b-1) < need {
+		b++
+	}
+	return b
+}
+
+// MemoryNeeds returns the minimum and maximum workspace, in pages, of a
+// PPHJ join with the given inner relation size: max = ⌈F·‖R‖⌉ + 1 (every
+// partition expanded plus an input buffer), min = B + 1 (one output
+// buffer per contracted partition plus an input buffer), per §3.2.
+func MemoryNeeds(rPages int, f float64) (min, max int) {
+	b := NumPartitions(rPages, f)
+	return b + 1, int(math.Ceil(f*float64(rPages))) + 1
+}
+
+// PPHJ executes one hash join query.
+type PPHJ struct {
+	f         float64 // hash table fudge factor
+	tpp       int     // tuples per page
+	blockSize int
+}
+
+// New returns a PPHJ operator with the given fudge factor, tuple density
+// and sequential-I/O block size.
+func New(f float64, tuplesPerPage, blockSize int) *PPHJ {
+	return &PPHJ{f: f, tpp: tuplesPerPage, blockSize: blockSize}
+}
+
+// jstate is the per-execution state of a join.
+type jstate struct {
+	e  *query.Exec
+	op *PPHJ
+
+	b          int     // partition count
+	expanded   int     // partitions currently in memory
+	perPartRaw float64 // raw R pages per partition (identical across partitions)
+	// expandedOnDisk counts expanded partitions whose raw pages still
+	// have a valid spooled copy (they were expanded by reading it back),
+	// so contracting them again is free — the copy is just re-adopted.
+	expandedOnDisk int
+
+	rSpool *query.TempFile // spooled R partition data
+	sSpool *query.TempFile // spooled S tuples for contracted partitions
+	rBuf   float64         // R pages accrued toward the next spool flush
+	sBuf   float64         // S pages accrued toward the next spool flush
+
+	rSpooled float64 // raw R pages on disk (excluding buffers)
+	sPending float64 // spooled S pages not yet joined
+	rReadCur int     // read cursor into rSpool for expansions
+}
+
+// Run executes the join; it returns false if the deadline interrupt
+// aborted it. All temporary files are released on every path.
+func (op *PPHJ) Run(e *query.Exec) bool {
+	s := &jstate{e: e, op: op, b: NumPartitions(e.Q.R.Pages, op.f)}
+	s.expanded = s.b // late contraction: start fully expanded
+	defer s.closeTemps()
+
+	if !e.UseCPU(cpu.CostInitQuery) {
+		return false
+	}
+	if !s.build() || !s.probe() || !s.cleanup() {
+		return false
+	}
+	return e.UseCPU(cpu.CostTermQuery)
+}
+
+func (s *jstate) closeTemps() {
+	if s.rSpool != nil {
+		s.rSpool.Close()
+	}
+	if s.sSpool != nil {
+		s.sSpool.Close()
+	}
+}
+
+// memUse returns the current workspace footprint in pages: one input
+// buffer, the expanded hash tables, and one output buffer per contracted
+// partition.
+func (s *jstate) memUse() float64 {
+	return 1 + float64(s.expanded)*s.op.f*s.perPartRaw + float64(s.b-s.expanded)
+}
+
+// contractOne spools the largest-footprint unit — one expanded partition —
+// to disk, freeing F·perPartRaw pages. Partitions whose raw pages still
+// sit validly in the spool (from an earlier expansion read-back) contract
+// for free; only never-spooled partitions pay the write.
+func (s *jstate) contractOne() bool {
+	if s.expanded == 0 {
+		return true
+	}
+	s.expanded--
+	if s.expandedOnDisk > 0 {
+		s.expandedOnDisk--
+		return true
+	}
+	s.rBuf += s.perPartRaw
+	s.rSpooled += s.perPartRaw
+	return s.flushR(false)
+}
+
+// flushR writes accrued R spool pages in block units; force drains the
+// sub-block remainder too.
+func (s *jstate) flushR(force bool) bool {
+	return s.flush(&s.rBuf, &s.rSpool, s.e.Q.R.Pages, force)
+}
+
+// flushS writes accrued S spool pages in block units.
+func (s *jstate) flushS(force bool) bool {
+	capacity := s.e.Q.R.Pages
+	if s.e.Q.S != nil {
+		capacity = s.e.Q.S.Pages
+	}
+	return s.flush(&s.sBuf, &s.sSpool, capacity, force)
+}
+
+func (s *jstate) flush(buf *float64, file **query.TempFile, capacity int, force bool) bool {
+	bs := s.op.blockSize
+	for int(*buf) >= bs || (force && *buf >= 0.5) {
+		n := bs
+		if int(*buf) < bs {
+			n = int(math.Round(*buf))
+			if n == 0 {
+				break
+			}
+		}
+		if *file == nil {
+			// Spool next to the relation being scanned: R-partition data
+			// beside R, spilled S tuples beside S.
+			rel := s.e.Q.R
+			if buf == &s.sBuf && s.e.Q.S != nil {
+				rel = s.e.Q.S
+			}
+			*file = s.e.CreateTemp(capacity, rel)
+		}
+		if !(*file).Append(s.e, n, bs) {
+			return false
+		}
+		*buf -= float64(n)
+	}
+	if force && *buf < 0.5 {
+		*buf = 0
+	}
+	return true
+}
+
+// adapt reconciles the join's footprint with its current allocation:
+// suspension spools everything and waits for memory; over-allocation
+// contracts partitions one at a time (late contraction).
+func (s *jstate) adapt() bool {
+	for {
+		alloc := s.e.Alloc()
+		if alloc == 0 {
+			for s.expanded > 0 {
+				if !s.contractOne() {
+					return false
+				}
+			}
+			if !s.flushR(true) || !s.flushS(true) {
+				return false
+			}
+			if !s.e.WaitMemory() {
+				return false
+			}
+			continue
+		}
+		// The epsilon absorbs float accumulation error in perPartRaw: a
+		// fully expanded join at exactly its maximum must not contract.
+		if s.memUse() <= float64(alloc)+1e-6 || s.expanded == 0 {
+			// Fits. Defer further work while stuck at the bare minimum
+			// with slack to spare (§3.2 deadline-driven pacing).
+			return s.e.PaceAtMinimum()
+		}
+		if !s.contractOne() {
+			return false
+		}
+	}
+}
+
+// build reads R, splitting it into partitions.
+func (s *jstate) build() bool {
+	e, bs := s.e, s.op.blockSize
+	r := e.Q.R
+	for read := 0; read < r.Pages; {
+		if !s.adapt() {
+			return false
+		}
+		n := bs
+		if rem := r.Pages - read; rem < n {
+			n = rem
+		}
+		if !e.ReadRel(r, read, n, bs) {
+			return false
+		}
+		read += n
+		s.perPartRaw += float64(n) / float64(s.b)
+		fE := float64(s.expanded) / float64(s.b)
+		tuples := float64(n * s.op.tpp)
+		instr := tuples * (fE*cpu.CostHashBuild + (1-fE)*cpu.CostHashCopy)
+		if !e.UseCPU(instr) {
+			return false
+		}
+		// Tuples headed to contracted partitions accrue toward spool flushes.
+		toDisk := (1 - fE) * float64(n)
+		s.rBuf += toDisk
+		s.rSpooled += toDisk
+		if !s.flushR(false) {
+			return false
+		}
+	}
+	return true
+}
+
+// probe reads S; tuples hashing to expanded partitions join directly,
+// the rest are spooled. Extra memory triggers late expansion.
+func (s *jstate) probe() bool {
+	e, bs := s.e, s.op.blockSize
+	out := e.Q.S
+	for read := 0; read < out.Pages; {
+		if !s.adapt() {
+			return false
+		}
+		if !s.maybeExpand(out.Pages - read) {
+			return false
+		}
+		n := bs
+		if rem := out.Pages - read; rem < n {
+			n = rem
+		}
+		if !e.ReadRel(out, read, n, bs) {
+			return false
+		}
+		read += n
+		fE := float64(s.expanded) / float64(s.b)
+		tuples := float64(n * s.op.tpp)
+		instr := tuples * (fE*(cpu.CostHashProbe+cpu.CostHashCopy) + (1-fE)*cpu.CostHashCopy)
+		if !e.UseCPU(instr) {
+			return false
+		}
+		toDisk := (1 - fE) * float64(n)
+		s.sBuf += toDisk
+		s.sPending += toDisk
+		if !s.flushS(false) {
+			return false
+		}
+	}
+	return true
+}
+
+// expandHysteresis discounts the projected benefit of a late expansion
+// against the risk that the next reallocation contracts the partition
+// before the read-back pays off. Calibration showed eager expansion
+// (factor 1) beats conservative settings: skipping an expansion forces
+// the remaining S tuples through a write+read spool cycle, which costs
+// more than the one-time read-back it avoids.
+const expandHysteresis = 1.0
+
+// maybeExpand performs late expansion: while spare memory can hold
+// another partition's hash table and enough of S remains for the saved
+// spooling to clearly outweigh the read-back cost, a contracted
+// partition is brought back. Its already-spooled S share is joined
+// immediately so the partition is fully live afterwards.
+func (s *jstate) maybeExpand(sRemaining int) bool {
+	for s.expanded < s.b {
+		spare := float64(s.e.Alloc()) - s.memUse() + 1e-6
+		// Expanding turns one output buffer into a hash table.
+		need := s.op.f*s.perPartRaw - 1
+		if spare < need {
+			return true
+		}
+		// Benefit: future S pages of this partition that would spool.
+		benefit := float64(sRemaining) / float64(s.b)
+		contracted := float64(s.b - s.expanded)
+		sShare := s.sPending / contracted
+		cost := s.perPartRaw + sShare
+		if benefit <= expandHysteresis*cost {
+			return true
+		}
+		if !s.readBackPartition(sShare) {
+			return false
+		}
+	}
+	return true
+}
+
+// readBackPartition reads one partition's raw pages (and its spooled S
+// share) back from the spool files, charging build and probe CPU.
+func (s *jstate) readBackPartition(sShare float64) bool {
+	e := s.e
+	rPages := int(math.Round(s.perPartRaw))
+	if rPages > 0 && s.rSpool != nil {
+		from := s.rReadCur % maxInt(s.rSpool.Written(), 1)
+		n := minInt(rPages, s.rSpool.Written())
+		if n > 0 {
+			if from+n > s.rSpool.Written() {
+				from = 0
+			}
+			if !s.rSpool.Read(e, from, n, s.op.blockSize) {
+				return false
+			}
+			s.rReadCur += n
+		}
+		if !e.UseCPU(float64(rPages*s.op.tpp) * cpu.CostHashBuild) {
+			return false
+		}
+	}
+	sPages := int(math.Round(sShare))
+	if sPages > 0 && s.sSpool != nil {
+		n := minInt(sPages, s.sSpool.Written())
+		if n > 0 {
+			if !s.sSpool.Read(e, 0, n, s.op.blockSize) {
+				return false
+			}
+		}
+		if !e.UseCPU(float64(sPages*s.op.tpp) * (cpu.CostHashProbe + cpu.CostHashCopy)) {
+			return false
+		}
+		s.sPending -= sShare
+		if s.sPending < 0 {
+			s.sPending = 0
+		}
+	}
+	s.expanded++
+	s.expandedOnDisk++
+	return true
+}
+
+// cleanup joins the contracted partitions pair by pair: read the R
+// partition, rebuild its table, then stream its spooled S share.
+func (s *jstate) cleanup() bool {
+	e := s.e
+	if !s.flushR(true) || !s.flushS(true) {
+		return false
+	}
+	contracted := s.b - s.expanded
+	if contracted == 0 {
+		return true
+	}
+	rShare := s.perPartRaw
+	sShare := s.sPending / float64(contracted)
+	rOff, sOff := 0, 0
+	for i := 0; i < contracted; i++ {
+		if !e.PaceAtMinimum() {
+			return false
+		}
+		rPages := pagesFor(rShare, rOff, spoolWritten(s.rSpool))
+		if rPages > 0 {
+			if !s.rSpool.Read(e, rOff, rPages, s.op.blockSize) {
+				return false
+			}
+			rOff += rPages
+			if !e.UseCPU(float64(rPages*s.op.tpp) * cpu.CostHashBuild) {
+				return false
+			}
+		}
+		sPages := pagesFor(sShare, sOff, spoolWritten(s.sSpool))
+		if sPages > 0 {
+			if !s.sSpool.Read(e, sOff, sPages, s.op.blockSize) {
+				return false
+			}
+			sOff += sPages
+			if !e.UseCPU(float64(sPages*s.op.tpp) * (cpu.CostHashProbe + cpu.CostHashCopy)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pagesFor converts a fractional per-partition share into whole pages,
+// clamped to what actually remains in the spool file past offset.
+func pagesFor(share float64, off, written int) int {
+	n := int(math.Round(share))
+	if rem := written - off; n > rem {
+		n = rem
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+func spoolWritten(t *query.TempFile) int {
+	if t == nil {
+		return 0
+	}
+	return t.Written()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

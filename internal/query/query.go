@@ -1,0 +1,347 @@
+// Package query is the execution framework shared by the memory-adaptive
+// operators (PPHJ hash joins and external sorts): the Query descriptor
+// that admission control and memory allocation act upon, the Exec
+// context through which operators consume CPU, disk, and buffer
+// resources at their ED priority, and temporary-file plumbing for
+// spooled partitions and sort runs.
+//
+// Memory adaptation is pull-based: the allocator updates Query.Alloc and
+// operators observe the new value at their next step boundary (one block
+// of processing), contracting or expanding exactly as the paper's
+// dynamic query processing primitives do [Pang93a, Pang93b].
+package query
+
+import (
+	"pmm/internal/buffer"
+	"pmm/internal/catalog"
+	"pmm/internal/cpu"
+	"pmm/internal/disk"
+	"pmm/internal/sim"
+)
+
+// Type distinguishes the two operator kinds the paper evaluates.
+type Type int
+
+const (
+	// HashJoin is a Partially Preemptible Hash Join [Pang93a].
+	HashJoin Type = iota
+	// ExternalSort is a memory-adaptive external sort [Pang93b].
+	ExternalSort
+)
+
+// String names the query type.
+func (t Type) String() string {
+	if t == HashJoin {
+		return "hash-join"
+	}
+	return "external-sort"
+}
+
+// Query is one firm real-time query. The workload generator fills the
+// descriptor fields; the admission controller owns the runtime fields.
+type Query struct {
+	ID        int64
+	Class     int    // workload class index
+	ClassName string // workload class name, for reports
+	Kind      Type
+
+	// R is the sort operand, or the inner (building) relation of a join;
+	// S is the outer (probing) relation, nil for sorts.
+	R, S *catalog.Relation
+
+	Arrival    float64 // arrival time
+	StandAlone float64 // stand-alone execution time with max memory
+	SlackRatio float64 // deadline slack multiplier
+	Deadline   float64 // StandAlone·SlackRatio + Arrival (firm)
+
+	MinMem  int // minimum workspace pages to execute at all
+	MaxMem  int // workspace pages for one-pass execution
+	ReadIOs int // block I/Os to read the operand relation(s)
+
+	// Runtime state. Alloc is the current memory grant in pages; the
+	// invariant is Alloc == 0 or MinMem ≤ Alloc ≤ MaxMem.
+	Alloc       int
+	WantMem     int  // operators park with this set; controller wakes on grant
+	Admitted    bool // has ever held memory
+	EverGranted bool
+	AdmitTime   float64
+	Finished    bool
+	Missed      bool
+	FinishTime  float64
+	// Fluctuations counts memory-allocation changes after the first
+	// grant — the quantity Figure 7 plots.
+	Fluctuations int
+	// IOCount is the number of disk requests this query issued.
+	IOCount int
+	// Proc is the simulation process executing the query.
+	Proc *sim.Proc
+}
+
+// Prio returns the query's Earliest Deadline priority: its deadline.
+// Lower values are more urgent.
+func (q *Query) Prio() float64 { return q.Deadline }
+
+// TimeConstraint returns Deadline − Arrival.
+func (q *Query) TimeConstraint() float64 { return q.Deadline - q.Arrival }
+
+// Env bundles the simulated hardware that query execution consumes.
+type Env struct {
+	K     *sim.Kernel
+	CPU   *cpu.CPU
+	Disks *disk.Manager
+	Pool  *buffer.Pool
+
+	// IOBreakdown tallies pages moved by category across all queries.
+	IOBreakdown IOStats
+
+	// PaceFactor > 0 enables deadline-driven pacing (see PaceAtMinimum):
+	// a query at its bare minimum allocation defers work until its
+	// remaining time falls below PaceFactor × (two-pass estimate).
+	// 0 disables pacing: queries always process with whatever memory
+	// they hold. Disabled by default — an ablation knob; calibration
+	// showed eager processing yields lower miss ratios overall.
+	PaceFactor float64
+
+	tempID int64 // temp file ids are negative and never recycled
+}
+
+// IOStats decomposes I/O volume (in pages) by purpose, to diagnose where
+// memory pressure turns into extra disk traffic.
+type IOStats struct {
+	RelRead    int64 // operand relation pages read
+	SpoolWrite int64 // temp pages written (contraction, run formation, S spill)
+	SpoolRead  int64 // temp pages read back (expansion, cleanup, merging)
+}
+
+// Exec is the per-query execution context.
+type Exec struct {
+	*Env
+	Q *Query
+	P *sim.Proc
+}
+
+// Alloc returns the query's current memory grant in pages.
+func (e *Exec) Alloc() int { return e.Q.Alloc }
+
+// UseCPU charges instructions at the query's ED priority. It returns
+// false if the query was interrupted (deadline expiry).
+func (e *Exec) UseCPU(instructions float64) bool {
+	return e.CPU.Run(e.P, e.Q.Prio(), instructions)
+}
+
+// WaitMemory parks until the controller grants the query memory
+// (Alloc > 0). It is both the admission wait and the suspension wait.
+// It returns false when the deadline interrupt arrives first.
+func (e *Exec) WaitMemory() bool {
+	for e.Q.Alloc == 0 {
+		e.Q.WantMem = e.Q.MinMem
+		ok := e.P.Park()
+		e.Q.WantMem = 0
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// WouldPace reports whether PaceAtMinimum would park right now: pacing
+// is enabled, the query holds exactly its bare minimum, has a real
+// maximum above it, and its remaining time exceeds the conservative
+// two-pass estimate. Operators that must save state before parking
+// (e.g. a sort flushing its heap) consult it first.
+func (e *Exec) WouldPace() bool {
+	q := e.Q
+	return e.PaceFactor > 0 && q.Alloc == q.MinMem && q.MinMem < q.MaxMem &&
+		e.K.Now() < q.Deadline-e.PaceFactor*3*q.StandAlone
+}
+
+// PaceAtMinimum implements the Earliest-Deadline pacing the paper's §3.2
+// describes: a query's allocation "settles on the maximum as its
+// deadline draws close", so a query holding only its bare minimum defers
+// the expensive extra-pass processing while it still has ample slack —
+// executing at minimum memory costs up to three times the one-pass I/O,
+// and a later top-up does that work at a fraction of the price. The
+// query parks until it is topped up beyond its minimum or its remaining
+// time falls under a conservative two-pass execution estimate, then
+// proceeds. It returns false if the deadline interrupt arrives first.
+func (e *Exec) PaceAtMinimum() bool {
+	for {
+		q := e.Q
+		if q.Alloc == 0 {
+			if !e.WaitMemory() {
+				return false
+			}
+			continue
+		}
+		if e.PaceFactor <= 0 || q.Alloc > q.MinMem || q.MinMem >= q.MaxMem {
+			return true
+		}
+		urgentAt := q.Deadline - e.PaceFactor*3*q.StandAlone
+		if e.K.Now() >= urgentAt {
+			return true
+		}
+		// Park until topped up (the controller wakes any process with
+		// WantMem set when its grant changes) or until urgency arrives.
+		q.WantMem = q.MinMem + 1
+		t := e.K.At(urgentAt-e.K.Now(), q.Proc.Wake)
+		ok := e.P.Park()
+		t.Stop()
+		q.WantMem = 0
+		if !ok {
+			return false
+		}
+	}
+}
+
+// ReadRel reads npages sequential pages of rel starting at fromPage,
+// fetching blockSize pages per I/O (the prefetch behaviour of §4.2) and
+// consulting the LRU cache for each block. Each physical I/O charges the
+// CPU the start-I/O cost before the disk access. It returns false on
+// interruption.
+func (e *Exec) ReadRel(rel *catalog.Relation, fromPage, npages, blockSize int) bool {
+	if blockSize <= 0 {
+		blockSize = 1
+	}
+	ext := rel.Extent()
+	for off := fromPage; off < fromPage+npages; {
+		n := blockSize
+		if rem := fromPage + npages - off; rem < n {
+			n = rem
+		}
+		key := buffer.PageKey{File: rel.ID, Page: int32(off / blockSize)}
+		if e.Pool.Lookup(key) {
+			off += n
+			continue
+		}
+		if !e.UseCPU(cpu.CostStartIO) {
+			return false
+		}
+		e.Q.IOCount++
+		e.IOBreakdown.RelRead += int64(n)
+		if !ext.Disk().AccessSeq(e.P, e.Q.Prio(), ext.CylinderOf(off), n, rel.ID, off) {
+			return false
+		}
+		e.Pool.Insert(key)
+		off += n
+	}
+	return true
+}
+
+// TempFile is a temporary spool file (contracted partitions, sort runs).
+type TempFile struct {
+	env     *Env
+	id      int64
+	ext     *disk.Extent
+	written int
+	closed  bool
+}
+
+// CreateTemp allocates a temp file able to hold capacity pages, placed
+// on the disk holding rel (operators spool next to the relation they
+// process); a nil rel lets the disk manager choose round-robin.
+func (e *Exec) CreateTemp(capacity int, rel *catalog.Relation) *TempFile {
+	e.Env.tempID--
+	prefer := -1
+	if rel != nil {
+		prefer = rel.Extent().Disk().ID()
+	}
+	return &TempFile{env: e.Env, id: e.Env.tempID, ext: e.Disks.AllocTemp(capacity, prefer)}
+}
+
+// Written returns the pages appended so far.
+func (t *TempFile) Written() int { return t.written }
+
+// Capacity returns the extent size in pages.
+func (t *TempFile) Capacity() int { return t.ext.Pages() }
+
+// Append writes npages sequentially to the end of the file in I/O units
+// of ioUnit pages (use the block size when the query has buffers to
+// spool with, 1 otherwise). It returns false on interruption.
+func (t *TempFile) Append(e *Exec, npages, ioUnit int) bool {
+	if t.closed {
+		panic("query: append to closed temp file")
+	}
+	if ioUnit <= 0 {
+		ioUnit = 1
+	}
+	for n := npages; n > 0; {
+		u := ioUnit
+		if n < u {
+			u = n
+		}
+		if t.written+u > t.ext.Pages() {
+			// The file outgrew its extent (rare: adaptive operators may
+			// spool more than first estimated). Chain a larger extent on
+			// the same disk; the old pages are accounted as rewritten once.
+			old := t.ext
+			t.ext = t.env.Disks.AllocTemp(t.written+npages, old.Disk().ID())
+			old.Free()
+		}
+		if !e.UseCPU(cpu.CostStartIO) {
+			return false
+		}
+		e.Q.IOCount++
+		e.IOBreakdown.SpoolWrite += int64(u)
+		// Appends are sequential by construction: write-behind streams them.
+		if !t.ext.Disk().AccessSeq(e.P, e.Q.Prio(), t.ext.CylinderOf(t.written), u, t.id, t.written) {
+			return false
+		}
+		t.written += u
+		n -= u
+	}
+	return true
+}
+
+// Read reads npages sequentially starting at page `from`, in I/O units of
+// ioUnit pages. Block-unit reads stream through the prefetch cache;
+// single-page reads do not — the paper exempts the merge phase of
+// external sorts from prefetching, and merges are the only page-unit
+// readers. It returns false on interruption.
+func (t *TempFile) Read(e *Exec, from, npages, ioUnit int) bool {
+	if t.closed {
+		panic("query: read from closed temp file")
+	}
+	if ioUnit <= 0 {
+		ioUnit = 1
+	}
+	for off := from; off < from+npages; {
+		u := ioUnit
+		if rem := from + npages - off; rem < u {
+			u = rem
+		}
+		if !e.UseCPU(cpu.CostStartIO) {
+			return false
+		}
+		e.Q.IOCount++
+		e.IOBreakdown.SpoolRead += int64(u)
+		d := t.ext.Disk()
+		var ok bool
+		if ioUnit > 1 {
+			ok = d.AccessSeq(e.P, e.Q.Prio(), t.ext.CylinderOf(off), u, t.id, off)
+		} else {
+			ok = d.Access(e.P, e.Q.Prio(), t.ext.CylinderOf(off), u)
+		}
+		if !ok {
+			return false
+		}
+		off += u
+	}
+	return true
+}
+
+// Close releases the temp file's disk extent. Closing twice is a no-op
+// so operators can close defensively during unwind.
+func (t *TempFile) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	t.ext.Free()
+}
+
+// Operator executes a query against an Exec context. Run returns false
+// when the query was aborted by its deadline; implementations must
+// release all temp files before returning either way.
+type Operator interface {
+	Run(e *Exec) bool
+}

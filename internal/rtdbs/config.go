@@ -1,0 +1,176 @@
+// Package rtdbs assembles the complete firm real-time database system
+// simulator of §4 — Source, Query Manager, Buffer Manager, CPU Manager
+// and Disk Manager — around a pluggable memory-allocation policy, and
+// collects the metrics the paper's experiments report: miss ratios
+// (overall, per class, and over time), resource utilizations, observed
+// MPL, admission/execution/response times, and memory-fluctuation
+// counts.
+package rtdbs
+
+import (
+	"fmt"
+
+	"pmm/internal/catalog"
+	"pmm/internal/core"
+	"pmm/internal/disk"
+	"pmm/internal/workload"
+)
+
+// PolicyKind selects the memory-allocation algorithm (paper Table 5).
+type PolicyKind int
+
+const (
+	// PolicyMax is the static Max algorithm.
+	PolicyMax PolicyKind = iota
+	// PolicyMinMax is MinMax-N (MPLLimit 0 = plain MinMax).
+	PolicyMinMax
+	// PolicyProportional is Proportional-N (MPLLimit 0 = Proportional).
+	PolicyProportional
+	// PolicyPMM is the adaptive Priority Memory Management algorithm.
+	PolicyPMM
+	// PolicyFairPMM is PMM augmented with the class-fairness mechanism
+	// the paper's §5.6 proposes (administrator-specified relative class
+	// miss ratios).
+	PolicyFairPMM
+)
+
+// PolicyConfig selects and parameterizes the allocation policy.
+type PolicyConfig struct {
+	Kind PolicyKind
+	// MPLLimit is N for MinMax-N / Proportional-N; 0 means unlimited.
+	MPLLimit int
+	// PMM holds the PMM parameters; zero fields take Table 1 defaults.
+	PMM core.Config
+	// Fairness parameterizes PolicyFairPMM.
+	Fairness core.FairnessConfig
+}
+
+// Phase is one segment of a phased (time-varying) workload: for Duration
+// seconds, class i arrives at Rates[i] queries/second (0 disables it).
+// Phases cycle when the simulation outlives their total span.
+type Phase struct {
+	Duration float64
+	Rates    []float64
+}
+
+// Config fully describes one simulation run.
+type Config struct {
+	// Seed drives every random stream; equal configs replay identically.
+	Seed int64
+	// Duration is the simulated time horizon in seconds.
+	Duration float64
+
+	// CPUMips is the processor speed (Table 3 default: 40).
+	CPUMips float64
+	// Disk is the disk-farm configuration.
+	Disk disk.Params
+	// MemoryPages is the buffer pool size M (Table 3 default: 2560).
+	MemoryPages int
+
+	// FudgeFactor is the hash-table overhead F (default 1.1).
+	FudgeFactor float64
+	// TuplesPerPage is the tuple density (default 40: 8 KB / 200 B).
+	TuplesPerPage int
+
+	// Groups defines the database (§4.1).
+	Groups []catalog.GroupSpec
+	// Classes defines the workload; ArrivalRate is the base rate used
+	// when Phases is nil.
+	Classes []workload.ClassSpec
+	// Phases optionally varies class arrival rates over time.
+	Phases []Phase
+
+	// Policy selects the memory-allocation algorithm.
+	Policy PolicyConfig
+
+	// PaceFactor > 0 enables deadline-driven pacing of queries stuck at
+	// their minimum allocation (ablation knob; see query.Env.PaceFactor).
+	PaceFactor float64
+}
+
+// withDefaults fills unset fields with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 36000 // 10 simulated hours
+	}
+	if c.CPUMips <= 0 {
+		c.CPUMips = 40
+	}
+	d := disk.DefaultParams()
+	if c.Disk.NumDisks <= 0 {
+		c.Disk.NumDisks = d.NumDisks
+	}
+	if c.Disk.SeekFactorMS <= 0 {
+		c.Disk.SeekFactorMS = d.SeekFactorMS
+	}
+	if c.Disk.RotationTime <= 0 {
+		c.Disk.RotationTime = d.RotationTime
+	}
+	if c.Disk.NumCylinders <= 0 {
+		c.Disk.NumCylinders = d.NumCylinders
+	}
+	if c.Disk.CylinderSize <= 0 {
+		c.Disk.CylinderSize = d.CylinderSize
+	}
+	if c.Disk.PagesPerTrack <= 0 {
+		c.Disk.PagesPerTrack = d.PagesPerTrack
+	}
+	if c.Disk.BlockSize <= 0 {
+		c.Disk.BlockSize = d.BlockSize
+	}
+	if c.MemoryPages <= 0 {
+		c.MemoryPages = 2560
+	}
+	if c.FudgeFactor <= 0 {
+		c.FudgeFactor = 1.1
+	}
+	if c.TuplesPerPage <= 0 {
+		c.TuplesPerPage = 40
+	}
+	return c
+}
+
+// validate rejects impossible configurations early.
+func (c Config) validate() error {
+	if len(c.Groups) == 0 {
+		return fmt.Errorf("rtdbs: no relation groups")
+	}
+	if len(c.Classes) == 0 {
+		return fmt.Errorf("rtdbs: no workload classes")
+	}
+	for _, ph := range c.Phases {
+		if len(ph.Rates) != len(c.Classes) {
+			return fmt.Errorf("rtdbs: phase has %d rates for %d classes",
+				len(ph.Rates), len(c.Classes))
+		}
+		if ph.Duration <= 0 {
+			return fmt.Errorf("rtdbs: non-positive phase duration %g", ph.Duration)
+		}
+	}
+	if c.Policy.MPLLimit < 0 {
+		return fmt.Errorf("rtdbs: negative MPL limit %d", c.Policy.MPLLimit)
+	}
+	return nil
+}
+
+// PolicyName returns the display name of the configured policy.
+func (c Config) PolicyName() string {
+	switch c.Policy.Kind {
+	case PolicyMax:
+		return "Max"
+	case PolicyMinMax:
+		if c.Policy.MPLLimit > 0 {
+			return fmt.Sprintf("MinMax-%d", c.Policy.MPLLimit)
+		}
+		return "MinMax"
+	case PolicyProportional:
+		if c.Policy.MPLLimit > 0 {
+			return fmt.Sprintf("Proportional-%d", c.Policy.MPLLimit)
+		}
+		return "Proportional"
+	case PolicyFairPMM:
+		return "FairPMM"
+	default:
+		return "PMM"
+	}
+}

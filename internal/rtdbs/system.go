@@ -1,0 +1,285 @@
+package rtdbs
+
+import (
+	"fmt"
+	"math"
+
+	"pmm/internal/buffer"
+	"pmm/internal/catalog"
+	"pmm/internal/core"
+	"pmm/internal/cpu"
+	"pmm/internal/disk"
+	"pmm/internal/extsort"
+	"pmm/internal/join"
+	"pmm/internal/policy"
+	"pmm/internal/query"
+	"pmm/internal/sim"
+	"pmm/internal/workload"
+)
+
+// System is one assembled simulation instance.
+type System struct {
+	cfg   Config
+	k     *sim.Kernel
+	cpu   *cpu.CPU
+	disks *disk.Manager
+	pool  *buffer.Pool
+	cat   *catalog.Catalog
+	gen   *workload.Generator
+	env   *query.Env
+	ctrl  *controller
+	met   *Metrics
+	pmm   *core.PMM // nil unless PolicyPMM
+
+	// Measurement window for PMM's probe.
+	winStart    float64
+	winCPUBusy0 float64
+	winDisk0    []float64
+	winMPLArea0 float64
+}
+
+// New builds a system from cfg. The same config and seed always produce
+// the same run.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, k: sim.NewKernel()}
+	s.cpu = cpu.New(s.k, cfg.CPUMips)
+
+	relCyl := catalog.CylindersNeeded(cfg.Groups, cfg.Disk.CylinderSize)
+	var err error
+	s.disks, err = disk.NewManager(s.k, cfg.Disk, relCyl, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.cat, err = catalog.Build(s.disks, cfg.Groups, cfg.TuplesPerPage, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.pool = buffer.NewPool(cfg.MemoryPages)
+	wp := workload.Params{
+		FudgeFactor:   cfg.FudgeFactor,
+		TuplesPerPage: cfg.TuplesPerPage,
+		BlockSize:     cfg.Disk.BlockSize,
+	}
+	s.gen, err = workload.NewGenerator(s.cat, cfg.Disk, cfg.CPUMips, wp, cfg.Classes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.env = &query.Env{K: s.k, CPU: s.cpu, Disks: s.disks, Pool: s.pool, PaceFactor: cfg.PaceFactor}
+	s.met = newMetrics(len(cfg.Classes))
+
+	var alloc policy.Allocator
+	switch cfg.Policy.Kind {
+	case PolicyMax:
+		alloc = policy.Max{}
+	case PolicyMinMax:
+		alloc = policy.MinMaxN{N: cfg.Policy.MPLLimit}
+	case PolicyProportional:
+		alloc = policy.ProportionalN{N: cfg.Policy.MPLLimit}
+	case PolicyPMM:
+		s.pmm = core.New(cfg.Policy.PMM, s)
+		alloc = s.pmm
+	case PolicyFairPMM:
+		fair := core.NewFair(cfg.Policy.PMM, cfg.Policy.Fairness, len(cfg.Classes), s)
+		s.pmm = fair.PMM
+		alloc = fair
+	default:
+		return nil, fmt.Errorf("rtdbs: unknown policy kind %d", cfg.Policy.Kind)
+	}
+	s.ctrl = newController(s, alloc)
+	s.winDisk0 = make([]float64, s.disks.NumDisks())
+	s.startSources()
+	return s, nil
+}
+
+// Kernel exposes the simulation kernel (tests and tools).
+func (s *System) Kernel() *sim.Kernel { return s.k }
+
+// Catalog exposes the database.
+func (s *System) Catalog() *catalog.Catalog { return s.cat }
+
+// Generator exposes the workload generator.
+func (s *System) Generator() *workload.Generator { return s.gen }
+
+// Run simulates the configured horizon and returns the results.
+func (s *System) Run() *Results {
+	s.k.Run(s.cfg.Duration)
+	return s.results()
+}
+
+// rateAndBoundary returns a class's arrival rate at time t and the time
+// at which it next changes (math.Inf(1) for static workloads). Phases
+// cycle past their total span.
+func (s *System) rateAndBoundary(class int, t float64) (rate, boundary float64) {
+	if len(s.cfg.Phases) == 0 {
+		return s.cfg.Classes[class].ArrivalRate, math.Inf(1)
+	}
+	var span float64
+	for _, ph := range s.cfg.Phases {
+		span += ph.Duration
+	}
+	cycle := math.Floor(t/span) * span
+	off := t - cycle
+	var acc float64
+	for _, ph := range s.cfg.Phases {
+		if off < acc+ph.Duration {
+			return ph.Rates[class], cycle + acc + ph.Duration
+		}
+		acc += ph.Duration
+	}
+	// Floating-point edge: t landed exactly on the span boundary.
+	return s.cfg.Phases[0].Rates[class], cycle + span + s.cfg.Phases[0].Duration
+}
+
+// startSources spawns one Poisson source process per class.
+func (s *System) startSources() {
+	for ci := range s.cfg.Classes {
+		ci := ci
+		s.k.Spawn(fmt.Sprintf("source-%s", s.cfg.Classes[ci].Name), func(p *sim.Proc) {
+			for {
+				rate, boundary := s.rateAndBoundary(ci, p.Now())
+				if rate <= 0 {
+					if math.IsInf(boundary, 1) {
+						return // class never active
+					}
+					if !p.Hold(boundary - p.Now()) {
+						return
+					}
+					continue
+				}
+				gap := s.gen.InterArrival(ci, rate)
+				if p.Now()+gap > boundary {
+					// The phase ends first; re-draw under the next
+					// phase's rate (exponentials are memoryless).
+					if !p.Hold(boundary - p.Now()) {
+						return
+					}
+					continue
+				}
+				if !p.Hold(gap) {
+					return
+				}
+				s.launch(s.gen.NewQuery(ci, p.Now()))
+			}
+		})
+	}
+}
+
+// launch starts a query process and arms its firm-deadline abort.
+func (s *System) launch(q *query.Query) {
+	s.met.arrived++
+	q.Proc = s.k.Spawn(fmt.Sprintf("q%d", q.ID), func(p *sim.Proc) {
+		s.runQuery(q, p)
+	})
+	s.k.At(q.Deadline-s.k.Now(), func() {
+		if !q.Finished {
+			q.Proc.Interrupt()
+		}
+	})
+}
+
+// runQuery is the query lifecycle: wait for admission, execute the
+// operator, then depart (completed or missed).
+func (s *System) runQuery(q *query.Query, p *sim.Proc) {
+	e := &query.Exec{Env: s.env, Q: q, P: p}
+	s.ctrl.Arrive(q)
+	completed := false
+	if e.WaitMemory() {
+		completed = s.buildOperator(q).Run(e)
+	}
+	q.Finished = true
+	q.FinishTime = p.Now()
+	q.Missed = !completed
+	s.ctrl.Depart(q, completed)
+}
+
+// buildOperator instantiates the operator for a query.
+func (s *System) buildOperator(q *query.Query) query.Operator {
+	bs := s.cfg.Disk.BlockSize
+	if q.Kind == query.HashJoin {
+		return join.New(s.cfg.FudgeFactor, s.cfg.TuplesPerPage, bs)
+	}
+	return extsort.New(s.cfg.TuplesPerPage, bs)
+}
+
+// results snapshots the metrics at the current simulation time.
+func (s *System) results() *Results {
+	m := s.met
+	r := &Results{
+		Policy:              s.cfg.PolicyName(),
+		Duration:            s.k.Now(),
+		Arrived:             m.arrived,
+		Terminated:          m.terminated,
+		Completed:           m.completed,
+		Missed:              m.missed,
+		AvgWait:             m.wait.Mean(),
+		AvgExec:             m.exec.Mean(),
+		AvgResponse:         m.resp.Mean(),
+		AvgFluctuations:     m.fluct.Mean(),
+		AvgIOAmplification:  m.ioAmp.Mean(),
+		AvgExecOverSA:       m.execOverSA.Mean(),
+		MissedNeverAdmitted: m.missedNoAdm,
+		AvgMissedIOProgress: m.missedIOProg.Mean(),
+		AvgMPL:              s.ctrl.mplMeter.Average(0, 0),
+		Events:              m.events,
+	}
+	if m.terminated > 0 {
+		r.MissRatio = float64(m.missed) / float64(m.terminated)
+	}
+	r.MissRatioHW90 = missCI(m.events)
+	elapsed := s.k.Now()
+	if elapsed > 0 {
+		r.CPUUtil = s.cpu.Meter().Utilization(0, 0)
+		zero := make([]float64, s.disks.NumDisks())
+		r.AvgDiskUtil = s.disks.AvgUtilization(0, zero)
+		r.MaxDiskUtil = s.disks.MaxUtilization(0, zero)
+	}
+	for ci, cl := range s.cfg.Classes {
+		cr := ClassResult{Name: cl.Name, Terminated: m.classTerm[ci], Missed: m.classMissed[ci]}
+		if cr.Terminated > 0 {
+			cr.MissRatio = float64(cr.Missed) / float64(cr.Terminated)
+		}
+		r.PerClass = append(r.PerClass, cr)
+	}
+	for i := range r.MissBySlackQuartile {
+		if m.slackQTerm[i] > 0 {
+			r.MissBySlackQuartile[i] = float64(m.slackQMiss[i]) / float64(m.slackQTerm[i])
+		}
+	}
+	r.LRUHits, r.LRUMisses, _ = s.pool.Stats()
+	r.IOBreakdown = s.env.IOBreakdown
+	if s.pmm != nil {
+		r.PMMTrace = s.pmm.Trace()
+		r.PMMRestarts = s.pmm.Restarts()
+	}
+	return r
+}
+
+// Now implements core.Probe.
+func (s *System) Now() float64 { return s.k.Now() }
+
+// MaxResourceUtil implements core.Probe: the busiest of CPU and disks
+// over the current window.
+func (s *System) MaxResourceUtil() float64 {
+	u := s.cpu.Meter().Utilization(s.winStart, s.winCPUBusy0)
+	if d := s.disks.MaxUtilization(s.winStart, s.winDisk0); d > u {
+		u = d
+	}
+	return u
+}
+
+// AvgMPL implements core.Probe: time-averaged observed MPL this window.
+func (s *System) AvgMPL() float64 {
+	return s.ctrl.mplMeter.Average(s.winStart, s.winMPLArea0)
+}
+
+// ResetWindow implements core.Probe.
+func (s *System) ResetWindow() {
+	s.winStart = s.k.Now()
+	s.winCPUBusy0 = s.cpu.Meter().BusyTime()
+	s.winDisk0 = s.disks.BusySnapshot()
+	s.winMPLArea0 = s.ctrl.mplMeter.Area()
+}

@@ -1,0 +1,148 @@
+package rtdbs
+
+import (
+	"testing"
+
+	"pmm/internal/catalog"
+	"pmm/internal/workload"
+
+	"pmm/internal/query"
+)
+
+// baselineConfig returns a scaled-down §5.1 baseline configuration.
+func baselineConfig(policy PolicyConfig, rate, duration float64) Config {
+	return Config{
+		Seed:     1,
+		Duration: duration,
+		Groups: []catalog.GroupSpec{
+			{RelPerDisk: 5, SizeRange: [2]int{600, 1800}},
+			{RelPerDisk: 5, SizeRange: [2]int{3000, 9000}},
+		},
+		Classes: []workload.ClassSpec{{
+			Name:        "Medium",
+			Kind:        query.HashJoin,
+			RelGroups:   []int{0, 1},
+			ArrivalRate: rate,
+			SlackRange:  [2]float64{2.5, 7.5},
+		}},
+		Policy: policy,
+	}
+}
+
+func sortConfig(policy PolicyConfig, rate, duration float64) Config {
+	return Config{
+		Seed:     1,
+		Duration: duration,
+		Groups: []catalog.GroupSpec{
+			{RelPerDisk: 5, SizeRange: [2]int{600, 1800}},
+		},
+		Classes: []workload.ClassSpec{{
+			Name:        "Sort",
+			Kind:        query.ExternalSort,
+			RelGroups:   []int{0},
+			ArrivalRate: rate,
+			SlackRange:  [2]float64{2.5, 7.5},
+		}},
+		Policy: policy,
+	}
+}
+
+func TestSmokeMinMaxJoins(t *testing.T) {
+	sys, err := New(baselineConfig(PolicyConfig{Kind: PolicyMinMax}, 0.04, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	t.Logf("policy=%s terminated=%d missed=%d missRatio=%.3f mpl=%.2f diskUtil=%.3f cpuUtil=%.3f wait=%.1f exec=%.1f",
+		r.Policy, r.Terminated, r.Missed, r.MissRatio, r.AvgMPL, r.AvgDiskUtil, r.CPUUtil, r.AvgWait, r.AvgExec)
+	if r.Terminated < 50 {
+		t.Fatalf("only %d terminations in %g s", r.Terminated, r.Duration)
+	}
+	if r.Completed == 0 {
+		t.Fatal("no query ever completed")
+	}
+	if r.MissRatio < 0 || r.MissRatio > 1 {
+		t.Fatalf("miss ratio %g out of range", r.MissRatio)
+	}
+	if r.AvgMPL <= 0 {
+		t.Fatalf("average MPL %g", r.AvgMPL)
+	}
+}
+
+func TestSmokeMaxJoins(t *testing.T) {
+	sys, err := New(baselineConfig(PolicyConfig{Kind: PolicyMax}, 0.04, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	t.Logf("policy=%s terminated=%d missRatio=%.3f mpl=%.2f wait=%.1f exec=%.1f",
+		r.Policy, r.Terminated, r.MissRatio, r.AvgMPL, r.AvgWait, r.AvgExec)
+	if r.Terminated < 50 {
+		t.Fatalf("only %d terminations", r.Terminated)
+	}
+	// Max admits <2 queries on average for this workload (§5.1).
+	if r.AvgMPL > 2.5 {
+		t.Fatalf("Max observed MPL %.2f, expected < 2.5", r.AvgMPL)
+	}
+}
+
+func TestSmokePMMJoins(t *testing.T) {
+	sys, err := New(baselineConfig(PolicyConfig{Kind: PolicyPMM}, 0.05, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	t.Logf("policy=%s terminated=%d missRatio=%.3f mpl=%.2f trace=%d restarts=%d",
+		r.Policy, r.Terminated, r.MissRatio, r.AvgMPL, len(r.PMMTrace), r.PMMRestarts)
+	if r.Terminated < 50 {
+		t.Fatalf("only %d terminations", r.Terminated)
+	}
+	if len(r.PMMTrace) == 0 {
+		t.Fatal("PMM produced no trace points")
+	}
+}
+
+func TestSmokeSorts(t *testing.T) {
+	sys, err := New(sortConfig(PolicyConfig{Kind: PolicyMinMax}, 0.05, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	t.Logf("policy=%s terminated=%d missRatio=%.3f mpl=%.2f", r.Policy, r.Terminated, r.MissRatio, r.AvgMPL)
+	if r.Terminated < 50 {
+		t.Fatalf("only %d terminations", r.Terminated)
+	}
+	if r.Completed == 0 {
+		t.Fatal("no sort ever completed")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Results {
+		sys, err := New(baselineConfig(PolicyConfig{Kind: PolicyPMM}, 0.06, 1500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run()
+	}
+	a, b := run(), run()
+	if a.Terminated != b.Terminated || a.Missed != b.Missed ||
+		a.AvgMPL != b.AvgMPL || a.AvgWait != b.AvgWait {
+		t.Fatalf("non-deterministic: run1={n=%d miss=%d mpl=%v} run2={n=%d miss=%d mpl=%v}",
+			a.Terminated, a.Missed, a.AvgMPL, b.Terminated, b.Missed, b.AvgMPL)
+	}
+}
+
+func TestNoProcessLeaks(t *testing.T) {
+	sys, err := New(baselineConfig(PolicyConfig{Kind: PolicyMinMax}, 0.05, 1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	// Sources plus in-flight queries may be live; after draining every
+	// remaining event only the sources (parked on future arrivals) remain.
+	live := sys.Kernel().LiveProcs()
+	if live > 1+len(sys.cfg.Classes)+50 {
+		t.Fatalf("suspiciously many live processes: %d", live)
+	}
+}

@@ -1,0 +1,16 @@
+// Package sim is a deterministic discrete-event simulation kernel with
+// process-oriented semantics, in the style of the DeNet simulation
+// language the original paper used.
+//
+// The kernel owns a virtual clock and an event heap ordered by
+// (time, insertion sequence).  Processes are goroutines that cooperate
+// with the kernel: exactly one of {kernel, some process} runs at any
+// instant, with handoffs over unbuffered channels, so simulations are
+// fully deterministic for a fixed seed and schedule.
+//
+// Processes block with Hold (advance local time), Park (wait for an
+// external Wake), or by queueing on a Server.  Any blocked process can be
+// Interrupted — used by firm real-time deadlines to abort queries — in
+// which case the blocking call reports the interruption so the process
+// can unwind and release resources.
+package sim

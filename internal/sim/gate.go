@@ -1,0 +1,120 @@
+package sim
+
+// Gate is a building block for custom schedulers: processes wait at the
+// gate, and the gate's owner inspects the waiters and decides whom to
+// release, in what order, and whether the release enters an uncancellable
+// service section. CPU and disk queues, as well as the memory-admission
+// queue, are all built on Gate.
+//
+// A waiter interrupted while queued is removed from the gate
+// automatically and its Wait call returns false; the owner simply never
+// sees it again in Waiters().
+type Gate struct {
+	k       *Kernel
+	name    string
+	seq     uint64
+	waiters []*Waiting
+}
+
+// Waiting is one process queued at a Gate.
+type Waiting struct {
+	proc *Proc
+	gate *Gate
+	seq  uint64
+	// Prio is the caller-supplied priority (lower is more urgent under
+	// Earliest Deadline). The gate itself does not order by it; owners do.
+	Prio float64
+	// Data is an arbitrary payload the owner attached via Wait.
+	Data any
+
+	removed   bool
+	inService bool
+}
+
+// NewGate returns an empty gate on kernel k. The name appears in
+// diagnostics only.
+func NewGate(k *Kernel, name string) *Gate {
+	return &Gate{k: k, name: name}
+}
+
+// Proc returns the waiting process.
+func (w *Waiting) Proc() *Proc { return w.proc }
+
+// Seq returns the arrival sequence number, unique and increasing per gate.
+func (w *Waiting) Seq() uint64 { return w.seq }
+
+// Len returns the number of queued (not in-service) waiters.
+func (g *Gate) Len() int { return len(g.waiters) }
+
+// Waiters returns the queued processes in arrival order. The slice is a
+// snapshot; entries released or interrupted after the call become stale
+// and are ignored by Release/BeginService.
+func (g *Gate) Waiters() []*Waiting {
+	out := make([]*Waiting, len(g.waiters))
+	copy(out, g.waiters)
+	return out
+}
+
+// remove deletes w from the queue, preserving order.
+func (g *Gate) remove(w *Waiting) {
+	for i, x := range g.waiters {
+		if x == w {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			w.removed = true
+			return
+		}
+	}
+}
+
+// Wait queues the calling process at the gate with the given priority and
+// payload, then parks. It returns true when released by the owner and
+// false when interrupted while queued (the entry is removed) or
+// interrupted during a service section begun with BeginService (the
+// service completes first).
+func (g *Gate) Wait(p *Proc, prio float64, data any) bool {
+	if p.takePendingInterrupt() {
+		return false
+	}
+	w := &Waiting{proc: p, gate: g, seq: g.seq, Prio: prio, Data: data}
+	g.seq++
+	g.waiters = append(g.waiters, w)
+	p.cancel = func() { g.remove(w) }
+	return !p.park().interrupted
+}
+
+// Release removes w from the queue and wakes its process. It reports
+// false if w was already released or interrupted (a stale handle).
+func (g *Gate) Release(w *Waiting) bool {
+	if w.removed || w.gate != g {
+		return false
+	}
+	g.remove(w)
+	w.proc.deliverWake(false)
+	return true
+}
+
+// BeginService removes w from the queue but leaves its process parked in
+// an uncancellable section; the owner must later call EndService. It
+// reports false for stale handles.
+func (g *Gate) BeginService(w *Waiting) bool {
+	if w.removed || w.gate != g || w.inService {
+		return false
+	}
+	g.remove(w)
+	w.inService = true
+	// The process keeps waiting but can no longer be torn out of the
+	// queue: clear its cancel hook so interrupts defer to EndService.
+	w.proc.cancel = nil
+	return true
+}
+
+// EndService wakes a process whose service section (started with
+// BeginService) has completed. Deferred interrupts are reported by the
+// waiter's Wait call.
+func (g *Gate) EndService(w *Waiting) {
+	if !w.inService {
+		panic("sim: EndService without BeginService")
+	}
+	w.inService = false
+	w.proc.deliverWake(false)
+}

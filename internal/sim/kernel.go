@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events with equal times fire in
+// scheduling order (seq), which keeps runs deterministic.
+type event struct {
+	at    float64
+	seq   uint64
+	fn    func()
+	dead  bool // cancelled Timer
+	index int  // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	k *Kernel
+	e *event
+}
+
+// Stop cancels the timer. It reports whether the event had not yet fired.
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.dead {
+		return false
+	}
+	t.e.dead = true
+	if t.e.index >= 0 {
+		heap.Remove(&t.k.events, t.e.index)
+	}
+	fired := t.e.fn == nil
+	t.e = nil
+	return !fired
+}
+
+// Kernel is the simulation engine: a virtual clock plus an event heap.
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now    float64
+	events eventHeap
+	seq    uint64
+	steps  uint64
+	procs  int // live processes, for leak detection in tests
+}
+
+// NewKernel returns a kernel with the clock at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulation time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Steps returns the number of events executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// LiveProcs returns the number of spawned processes that have not finished.
+func (k *Kernel) LiveProcs() int { return k.procs }
+
+// At schedules fn to run after delay simulated seconds and returns a
+// cancellable Timer. A negative delay panics: the past is immutable.
+func (k *Kernel) At(delay float64, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := &event{at: k.now + delay, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return &Timer{k: k, e: e}
+}
+
+// Step executes the next pending event, advancing the clock.
+// It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	for k.events.Len() > 0 {
+		e := heap.Pop(&k.events).(*event)
+		if e.dead {
+			continue
+		}
+		if e.at < k.now {
+			panic("sim: event scheduled in the past")
+		}
+		k.now = e.at
+		fn := e.fn
+		e.fn = nil
+		k.steps++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the clock would pass `until` or no events
+// remain. The clock is left at min(until, time of last event executed).
+// Events scheduled exactly at `until` do run.
+func (k *Kernel) Run(until float64) {
+	for k.events.Len() > 0 {
+		// Peek: the heap root is the earliest event.
+		if k.events[0].dead {
+			heap.Pop(&k.events)
+			continue
+		}
+		if k.events[0].at > until {
+			break
+		}
+		k.Step()
+	}
+	if k.now < until {
+		k.now = until
+	}
+}
+
+// Drain executes every remaining event. Intended for tests and teardown.
+func (k *Kernel) Drain() {
+	for k.Step() {
+	}
+}

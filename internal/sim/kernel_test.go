@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(2, func() { order = append(order, 2) })
+	k.At(1, func() { order = append(order, 1) })
+	k.At(3, func() { order = append(order, 3) })
+	k.Drain()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if k.Now() != 3 {
+		t.Fatalf("clock = %g, want 3", k.Now())
+	}
+}
+
+func TestKernelFIFOTies(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.At(1, func() { fired++ })
+	k.At(2, func() { fired++ })
+	k.At(3, func() { fired++ })
+	k.Run(2)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (event at exactly `until` must run)", fired)
+	}
+	if k.Now() != 2 {
+		t.Fatalf("clock = %g, want 2", k.Now())
+	}
+	k.Run(10)
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+	// With no events left the clock advances to `until`.
+	if k.Now() != 10 {
+		t.Fatalf("clock = %g, want 10", k.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.At(1, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	k.Drain()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	k := NewKernel()
+	tm := k.At(1, func() {})
+	k.Drain()
+	if tm.Stop() {
+		t.Fatal("Stop after firing should report false")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var times []float64
+	k.At(1, func() {
+		times = append(times, k.Now())
+		k.At(1, func() { times = append(times, k.Now()) })
+	})
+	k.Drain()
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("nested scheduling wrong: %v", times)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	NewKernel().At(-1, func() {})
+}
+
+func TestHoldAdvancesTime(t *testing.T) {
+	k := NewKernel()
+	var at []float64
+	k.Spawn("holder", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			if !p.Hold(1.5) {
+				t.Error("unexpected interrupt")
+			}
+			at = append(at, p.Now())
+		}
+	})
+	k.Drain()
+	want := []float64{1.5, 3.0, 4.5}
+	for i := range want {
+		if math.Abs(at[i]-want[i]) > 1e-12 {
+			t.Fatalf("hold times %v, want %v", at, want)
+		}
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("leaked %d processes", k.LiveProcs())
+	}
+}
+
+func TestInterleavedProcsDeterministic(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var trace []string
+		k.Spawn("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Hold(2)
+				trace = append(trace, "a")
+			}
+		})
+		k.Spawn("b", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Hold(3)
+				trace = append(trace, "b")
+			}
+		})
+		k.Drain()
+		return trace
+	}
+	first := run()
+	for i := 0; i < 20; i++ {
+		got := run()
+		for j := range first {
+			if got[j] != first[j] {
+				t.Fatalf("nondeterministic trace: %v vs %v", first, got)
+			}
+		}
+	}
+}
+
+func TestParkWake(t *testing.T) {
+	k := NewKernel()
+	var p *Proc
+	woke := false
+	p = k.Spawn("sleeper", func(p *Proc) {
+		if !p.Park() {
+			t.Error("park reported interrupt")
+		}
+		woke = true
+	})
+	k.At(5, func() { p.Wake() })
+	k.Drain()
+	if !woke {
+		t.Fatal("process never woke")
+	}
+	if k.Now() != 5 {
+		t.Fatalf("woke at %g, want 5", k.Now())
+	}
+}
+
+func TestInterruptDuringHold(t *testing.T) {
+	k := NewKernel()
+	var interruptedAt float64 = -1
+	p := k.Spawn("victim", func(p *Proc) {
+		if p.Hold(100) {
+			t.Error("hold should have been interrupted")
+		}
+		interruptedAt = p.Now()
+	})
+	k.At(7, func() { p.Interrupt() })
+	k.Drain()
+	if interruptedAt != 7 {
+		t.Fatalf("interrupted at %g, want 7", interruptedAt)
+	}
+}
+
+func TestInterruptDuringPark(t *testing.T) {
+	k := NewKernel()
+	got := make(chan bool, 1)
+	p := k.Spawn("victim", func(p *Proc) { got <- p.Park() })
+	k.At(1, func() { p.Interrupt() })
+	k.Drain()
+	if ok := <-got; ok {
+		t.Fatal("park should report interruption")
+	}
+}
+
+func TestInterruptDeadProcIsNoop(t *testing.T) {
+	k := NewKernel()
+	p := k.Spawn("quick", func(p *Proc) {})
+	k.Drain()
+	if !p.Dead() {
+		t.Fatal("process should be dead")
+	}
+	p.Interrupt() // must not panic or deadlock
+	k.Drain()
+}
+
+func TestWakeDoubleDeliverOnce(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	p := k.Spawn("sleeper", func(p *Proc) {
+		p.Park()
+		count++
+	})
+	k.At(1, func() { p.Wake(); p.Wake() })
+	k.Drain()
+	if count != 1 {
+		t.Fatalf("process resumed %d times, want 1", count)
+	}
+}
+
+func TestWakeDoesNotDisturbHold(t *testing.T) {
+	k := NewKernel()
+	var resumedAt float64
+	p := k.Spawn("sleeper", func(p *Proc) {
+		if !p.Hold(10) {
+			t.Error("hold interrupted unexpectedly")
+		}
+		resumedAt = p.Now()
+	})
+	k.At(1, func() { p.Wake() }) // must be a no-op: Wake only ends Park
+	k.Drain()
+	if resumedAt != 10 {
+		t.Fatalf("hold ended at %g, want 10 (Wake must not cut holds short)", resumedAt)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("process panic did not propagate to kernel")
+		}
+	}()
+	k := NewKernel()
+	k.Spawn("bomb", func(p *Proc) { panic("boom") })
+	k.Drain()
+}
+
+func TestInterruptWhileRunningDefersToNextBlock(t *testing.T) {
+	k := NewKernel()
+	var first, second bool
+	var p *Proc
+	p = k.Spawn("self", func(p *Proc) {
+		p.Hold(1)
+		// Interrupt arrives while running (delivered synchronously here).
+		p.Interrupt()
+		first = p.Hold(1)  // should consume the pending interrupt
+		second = p.Hold(1) // should proceed normally
+	})
+	_ = p
+	k.Drain()
+	if first {
+		t.Fatal("pending interrupt not delivered at next blocking point")
+	}
+	if !second {
+		t.Fatal("interrupt incorrectly persisted past one delivery")
+	}
+}

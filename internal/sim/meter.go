@@ -1,0 +1,96 @@
+package sim
+
+// BusyMeter accumulates the busy time of a resource so that utilization
+// can be computed over the whole run or over measurement windows (PMM
+// samples utilization per batch of query completions).
+type BusyMeter struct {
+	k         *Kernel
+	busy      bool
+	busySince float64
+	total     float64
+}
+
+// NewBusyMeter returns an idle meter on kernel k.
+func NewBusyMeter(k *Kernel) *BusyMeter {
+	return &BusyMeter{k: k}
+}
+
+// SetBusy records a busy/idle transition at the current time.
+// Redundant transitions are no-ops.
+func (m *BusyMeter) SetBusy(busy bool) {
+	if busy == m.busy {
+		return
+	}
+	if m.busy {
+		m.total += m.k.now - m.busySince
+	} else {
+		m.busySince = m.k.now
+	}
+	m.busy = busy
+}
+
+// Busy reports whether the resource is currently busy.
+func (m *BusyMeter) Busy() bool { return m.busy }
+
+// BusyTime returns cumulative busy seconds up to the current time.
+func (m *BusyMeter) BusyTime() float64 {
+	t := m.total
+	if m.busy {
+		t += m.k.now - m.busySince
+	}
+	return t
+}
+
+// Utilization returns the fraction of time busy since time start.
+// It returns 0 when no time has elapsed.
+func (m *BusyMeter) Utilization(start float64, busyAtStart float64) float64 {
+	elapsed := m.k.now - start
+	if elapsed <= 0 {
+		return 0
+	}
+	return (m.BusyTime() - busyAtStart) / elapsed
+}
+
+// TimeWeighted tracks the time-weighted average of a piecewise-constant
+// level, e.g. the observed multiprogramming level.
+type TimeWeighted struct {
+	k       *Kernel
+	level   float64
+	since   float64
+	area    float64
+	started float64
+}
+
+// NewTimeWeighted returns a tracker starting at level 0.
+func NewTimeWeighted(k *Kernel) *TimeWeighted {
+	return &TimeWeighted{k: k, since: k.now, started: k.now}
+}
+
+// Set records a level change at the current time.
+func (t *TimeWeighted) Set(level float64) {
+	t.area += t.level * (t.k.now - t.since)
+	t.since = t.k.now
+	t.level = level
+}
+
+// Add shifts the level by delta at the current time.
+func (t *TimeWeighted) Add(delta float64) { t.Set(t.level + delta) }
+
+// Level returns the current level.
+func (t *TimeWeighted) Level() float64 { return t.level }
+
+// Area returns the time-integral of the level since tracking started.
+func (t *TimeWeighted) Area() float64 {
+	return t.area + t.level*(t.k.now-t.since)
+}
+
+// Average returns the time-weighted mean level between start and now,
+// given the tracked Area at start. Returns the current level when no
+// time has elapsed.
+func (t *TimeWeighted) Average(start, areaAtStart float64) float64 {
+	elapsed := t.k.now - start
+	if elapsed <= 0 {
+		return t.level
+	}
+	return (t.Area() - areaAtStart) / elapsed
+}

@@ -1,0 +1,201 @@
+package sim
+
+import "fmt"
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	procRunning     procState = iota // currently executing on its goroutine
+	procParked                       // blocked, waiting for a wake
+	procWakePending                  // wake event scheduled but not yet run
+	procDead                         // body returned
+)
+
+// outcome is what a wake delivers to a parked process.
+type outcome struct {
+	interrupted bool
+}
+
+// Proc is a simulation process: a goroutine that runs in strict
+// alternation with the kernel. All Proc methods must be called from
+// simulation context (the kernel loop or another process's turn); the
+// package is not safe for use from arbitrary goroutines.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan outcome
+	yield  chan struct{}
+
+	state procState
+	// pendingInterrupt records an Interrupt that could not resume the
+	// process immediately (it was running, mid-service, or already had a
+	// wake in flight); the next blocking point reports it.
+	pendingInterrupt bool
+	// cancel, when non-nil while parked, undoes the cancellable wait the
+	// process sits in (stops a Hold timer, removes a queue entry). A
+	// parked process with nil cancel is in an uncancellable section
+	// (e.g. a disk transfer); interrupts are deferred to its completion.
+	cancel func()
+	// plainPark marks a wait entered via Park, the only kind of wait
+	// that Wake may resume; Wake must never tear a process out of a
+	// timer or a scheduler queue.
+	plainPark bool
+	// wakeOutcome is consumed by the pending wake event.
+	wakeOutcome outcome
+	panicVal    any
+}
+
+// Spawn starts body as a new process. The body begins executing at the
+// current simulation time, after already-scheduled events at this time.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan outcome),
+		yield:  make(chan struct{}),
+		state:  procWakePending,
+	}
+	k.procs++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.panicVal = r
+			}
+			p.state = procDead
+			p.k.procs--
+			p.yield <- struct{}{}
+		}()
+		<-p.resume
+		body(p)
+	}()
+	k.At(0, p.runTurn)
+	return p
+}
+
+// runTurn hands control to the process goroutine and waits for it to
+// yield back. Any panic in the process body is re-raised in the kernel
+// so tests fail loudly instead of deadlocking.
+func (p *Proc) runTurn() {
+	p.state = procRunning
+	p.resume <- p.wakeOutcome
+	<-p.yield
+	if p.panicVal != nil {
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.panicVal))
+	}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulation time.
+func (p *Proc) Now() float64 { return p.k.now }
+
+// takePendingInterrupt consumes a deferred interrupt, if any.
+func (p *Proc) takePendingInterrupt() bool {
+	if p.pendingInterrupt {
+		p.pendingInterrupt = false
+		return true
+	}
+	return false
+}
+
+// park blocks the calling process until a wake is delivered. The caller
+// must have arranged for a wake (timer, gate grant, Wake) and set
+// p.cancel appropriately before parking.
+func (p *Proc) park() outcome {
+	p.state = procParked
+	p.yield <- struct{}{}
+	out := <-p.resume
+	p.cancel = nil
+	p.plainPark = false
+	if p.pendingInterrupt {
+		out.interrupted = true
+		p.pendingInterrupt = false
+	}
+	return out
+}
+
+// deliverWake schedules the resumption of a parked process.
+func (p *Proc) deliverWake(interrupted bool) {
+	switch p.state {
+	case procParked:
+		p.state = procWakePending
+		p.wakeOutcome = outcome{interrupted: interrupted}
+		p.k.At(0, p.runTurn)
+	case procWakePending:
+		if interrupted {
+			p.pendingInterrupt = true
+		}
+	case procDead:
+		// Late wake for a finished process: drop it.
+	case procRunning:
+		panic("sim: wake delivered to a running process")
+	}
+}
+
+// Hold suspends the process for dt simulated seconds. It returns false
+// if the process was interrupted before the time elapsed.
+func (p *Proc) Hold(dt float64) (ok bool) {
+	if dt < 0 {
+		panic(fmt.Sprintf("sim: negative hold %g", dt))
+	}
+	if p.takePendingInterrupt() {
+		return false
+	}
+	t := p.k.At(dt, func() { p.deliverWake(false) })
+	p.cancel = func() { t.Stop() }
+	return !p.park().interrupted
+}
+
+// Park blocks until another component calls Wake or Interrupt.
+// It returns false if woken by Interrupt.
+func (p *Proc) Park() (ok bool) {
+	if p.takePendingInterrupt() {
+		return false
+	}
+	p.cancel = func() {}
+	p.plainPark = true
+	return !p.park().interrupted
+}
+
+// Wake resumes a process blocked in Park. Waking a process that is not
+// in a plain Park (already woken at this timestamp, dead, running, or
+// waiting on a timer/Gate/Server) is a no-op, so callers may wake
+// liberally. Waits owned by a Gate or Server can only be ended by the
+// owning primitive.
+func (p *Proc) Wake() {
+	if p.state == procParked && p.plainPark {
+		p.cancel = nil
+		p.plainPark = false
+		p.deliverWake(false)
+	}
+}
+
+// Interrupt aborts the process's current blocking operation. A
+// cancellable wait (Hold, Park, gate queue) is torn down and resumes
+// immediately with an interrupted outcome; an uncancellable section
+// (in-service disk transfer or CPU burst) completes first and then
+// reports the interruption. Interrupting a dead process is a no-op.
+func (p *Proc) Interrupt() {
+	switch p.state {
+	case procParked:
+		if p.cancel != nil {
+			c := p.cancel
+			p.cancel = nil
+			c()
+			p.deliverWake(true)
+		} else {
+			p.pendingInterrupt = true
+		}
+	case procWakePending, procRunning:
+		p.pendingInterrupt = true
+	case procDead:
+	}
+}
+
+// Dead reports whether the process body has returned.
+func (p *Proc) Dead() bool { return p.state == procDead }

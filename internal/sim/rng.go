@@ -1,0 +1,36 @@
+package sim
+
+import "math/rand"
+
+// SplitSeed derives an independent child seed from a master seed and a
+// stream identifier, so that the arrival process, relation choices, slack
+// ratios, and rotational delays each get a decoupled deterministic
+// stream. It applies the splitmix64 finalizer, which decorrelates
+// consecutive stream ids well.
+func SplitSeed(master int64, stream uint64) int64 {
+	z := uint64(master) + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z = z ^ (z >> 31)
+	return int64(z)
+}
+
+// NewRand returns a deterministic generator for the given master seed and
+// stream id.
+func NewRand(master int64, stream uint64) *rand.Rand {
+	return rand.New(rand.NewSource(SplitSeed(master, stream)))
+}
+
+// Exp draws an exponential inter-arrival time with the given mean.
+// A non-positive mean panics: Poisson sources require a positive rate.
+func Exp(r *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		panic("sim: non-positive exponential mean")
+	}
+	return r.ExpFloat64() * mean
+}
+
+// Uniform draws from [lo, hi).
+func Uniform(r *rand.Rand, lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}

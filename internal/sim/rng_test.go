@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplitSeedDistinctStreams(t *testing.T) {
+	seen := map[int64]uint64{}
+	for s := uint64(0); s < 1000; s++ {
+		seed := SplitSeed(42, s)
+		if prev, dup := seen[seed]; dup {
+			t.Fatalf("streams %d and %d collide", prev, s)
+		}
+		seen[seed] = s
+	}
+}
+
+func TestSplitSeedDeterministic(t *testing.T) {
+	if SplitSeed(7, 3) != SplitSeed(7, 3) {
+		t.Fatal("SplitSeed not deterministic")
+	}
+	if SplitSeed(7, 3) == SplitSeed(8, 3) {
+		t.Fatal("different masters should give different seeds")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(1, 0)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += Exp(r, 5)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.1 {
+		t.Fatalf("exponential mean %g, want ≈5", mean)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRand(1, 1)
+	for i := 0; i < 10000; i++ {
+		v := Uniform(r, 2.5, 7.5)
+		if v < 2.5 || v >= 7.5 {
+			t.Fatalf("uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestExpPanicsOnNonPositiveMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Exp(NewRand(1, 2), 0)
+}

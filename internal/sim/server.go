@@ -1,0 +1,99 @@
+package sim
+
+// Server is a single-channel priority resource: one request is in service
+// at a time, and when it completes the queued request with the lowest
+// Prio value (earliest deadline) starts next, FIFO among ties. Service is
+// uncancellable once started; interrupts delivered mid-service surface
+// after the request completes. The simulated CPU is a Server.
+type Server struct {
+	k     *Kernel
+	gate  *Gate
+	meter *BusyMeter
+	busy  bool
+}
+
+// NewServer returns an idle server.
+func NewServer(k *Kernel, name string) *Server {
+	return &Server{k: k, gate: NewGate(k, name), meter: NewBusyMeter(k)}
+}
+
+// Meter exposes the server's busy-time accounting.
+func (s *Server) Meter() *BusyMeter { return s.meter }
+
+// QueueLen returns the number of queued (not in-service) requests.
+func (s *Server) QueueLen() int { return s.gate.Len() }
+
+// Use blocks the calling process until it has exclusively held the server
+// for service seconds. Lower prio values are served first. It returns
+// false if the process was interrupted — before service started (no time
+// consumed) or during it (service completed, then the interruption is
+// reported).
+func (s *Server) Use(p *Proc, prio float64, service float64) bool {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	if !s.busy {
+		// Fast path: idle server, start service immediately. A Gate entry
+		// is still created so interrupt bookkeeping stays uniform.
+		return s.serve(p, prio, service)
+	}
+	ok := s.gate.Wait(p, prio, service)
+	// On a normal release the dispatcher has already accounted for our
+	// service; Wait returning is the completion signal.
+	return ok
+}
+
+// serve runs one service section for the calling process.
+func (s *Server) serve(p *Proc, prio float64, service float64) bool {
+	s.busy = true
+	s.meter.SetBusy(true)
+	// Park the caller uncancellably for the service duration.
+	if p.takePendingInterrupt() {
+		s.finish()
+		return false
+	}
+	var w Waiting // detached entry, only for EndService bookkeeping
+	w.proc = p
+	w.inService = true
+	p.cancel = nil
+	s.k.At(service, func() {
+		s.finish()
+		w.proc.deliverWake(false)
+	})
+	return !p.park().interrupted
+}
+
+// finish marks the server idle and dispatches the next queued request.
+func (s *Server) finish() {
+	s.busy = false
+	s.meter.SetBusy(false)
+	s.dispatch()
+}
+
+// dispatch starts service for the best queued request, if any.
+func (s *Server) dispatch() {
+	if s.busy {
+		return
+	}
+	var best *Waiting
+	for _, w := range s.gate.Waiters() {
+		if best == nil || w.Prio < best.Prio || (w.Prio == best.Prio && w.seq < best.seq) {
+			best = w
+		}
+	}
+	if best == nil {
+		return
+	}
+	service := best.Data.(float64)
+	if !s.gate.BeginService(best) {
+		return
+	}
+	s.busy = true
+	s.meter.SetBusy(true)
+	s.k.At(service, func() {
+		s.busy = false
+		s.meter.SetBusy(false)
+		s.gate.EndService(best)
+		s.dispatch()
+	})
+}

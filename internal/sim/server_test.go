@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestServerSerialService(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, "cpu")
+	var done []float64
+	for i := 0; i < 3; i++ {
+		k.Spawn("user", func(p *Proc) {
+			s.Use(p, 0, 2)
+			done = append(done, p.Now())
+		})
+	}
+	k.Drain()
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if math.Abs(done[i]-want[i]) > 1e-12 {
+			t.Fatalf("completions %v, want %v", done, want)
+		}
+	}
+	if got := s.Meter().BusyTime(); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("busy time %g, want 6", got)
+	}
+}
+
+func TestServerPriorityOrder(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, "cpu")
+	var order []string
+	// Occupy the server first so the others queue.
+	k.Spawn("first", func(p *Proc) {
+		s.Use(p, 5, 10)
+		order = append(order, "first")
+	})
+	k.At(1, func() {
+		k.Spawn("low", func(p *Proc) {
+			s.Use(p, 9, 1)
+			order = append(order, "low")
+		})
+		k.Spawn("high", func(p *Proc) {
+			s.Use(p, 1, 1)
+			order = append(order, "high")
+		})
+	})
+	k.Drain()
+	if len(order) != 3 || order[0] != "first" || order[1] != "high" || order[2] != "low" {
+		t.Fatalf("service order %v, want [first high low]", order)
+	}
+}
+
+func TestServerFIFOAmongEqualPriority(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, "cpu")
+	var order []int
+	k.Spawn("occupier", func(p *Proc) { s.Use(p, 0, 5) })
+	k.At(1, func() {
+		for i := 0; i < 4; i++ {
+			i := i
+			k.Spawn("eq", func(p *Proc) {
+				s.Use(p, 7, 1)
+				order = append(order, i)
+			})
+		}
+	})
+	k.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-priority order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestServerInterruptWhileQueued(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, "cpu")
+	k.Spawn("occupier", func(p *Proc) { s.Use(p, 0, 100) })
+	var gotOK *bool
+	victim := k.Spawn("victim", func(p *Proc) {
+		ok := s.Use(p, 1, 10)
+		gotOK = &ok
+	})
+	k.At(5, func() { victim.Interrupt() })
+	k.Run(20)
+	if gotOK == nil {
+		t.Fatal("victim still blocked after interrupt")
+	}
+	if *gotOK {
+		t.Fatal("queued request should report interruption")
+	}
+	if k.Now() != 20 {
+		t.Fatalf("now = %g", k.Now())
+	}
+}
+
+func TestServerInterruptDuringServiceCompletesFirst(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, "cpu")
+	var finishedAt float64
+	var ok bool
+	victim := k.Spawn("victim", func(p *Proc) {
+		ok = s.Use(p, 0, 10)
+		finishedAt = p.Now()
+	})
+	k.At(3, func() { victim.Interrupt() })
+	k.Drain()
+	if ok {
+		t.Fatal("interrupted service must report false")
+	}
+	if finishedAt != 10 {
+		t.Fatalf("service should complete before interrupt reported; finished at %g", finishedAt)
+	}
+}
+
+func TestServerUtilizationWindow(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, "cpu")
+	k.Spawn("u", func(p *Proc) {
+		s.Use(p, 0, 4)
+	})
+	k.Run(8)
+	if got := s.Meter().Utilization(0, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("utilization %g, want 0.5", got)
+	}
+	// Window starting at t=8 with a 2-second service in [8,10], to 12.
+	start, busy0 := k.Now(), s.Meter().BusyTime()
+	k.Spawn("u2", func(p *Proc) { s.Use(p, 0, 2) })
+	k.Run(12)
+	if got := s.Meter().Utilization(start, busy0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("windowed utilization %g, want 0.5", got)
+	}
+}
+
+func TestGateReleaseSpecificWaiter(t *testing.T) {
+	k := NewKernel()
+	g := NewGate(k, "adm")
+	var admitted []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("w", func(p *Proc) {
+			if g.Wait(p, float64(i), i) {
+				admitted = append(admitted, i)
+			}
+		})
+	}
+	k.At(1, func() {
+		// Admit waiter with Data==1 first, then 0, leave 2 waiting.
+		for _, w := range g.Waiters() {
+			if w.Data.(int) == 1 {
+				g.Release(w)
+			}
+		}
+		for _, w := range g.Waiters() {
+			if w.Data.(int) == 0 {
+				g.Release(w)
+			}
+		}
+	})
+	k.Run(10)
+	if len(admitted) != 2 || admitted[0] != 1 || admitted[1] != 0 {
+		t.Fatalf("admissions %v, want [1 0]", admitted)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("gate should still hold one waiter, has %d", g.Len())
+	}
+}
+
+func TestGateInterruptRemovesWaiter(t *testing.T) {
+	k := NewKernel()
+	g := NewGate(k, "adm")
+	p := k.Spawn("w", func(p *Proc) {
+		if g.Wait(p, 0, nil) {
+			t.Error("wait should report interruption")
+		}
+	})
+	k.At(1, func() { p.Interrupt() })
+	k.Run(5)
+	if g.Len() != 0 {
+		t.Fatalf("interrupted waiter not removed; len=%d", g.Len())
+	}
+}
+
+func TestGateStaleHandleIgnored(t *testing.T) {
+	k := NewKernel()
+	g := NewGate(k, "adm")
+	p := k.Spawn("w", func(p *Proc) { g.Wait(p, 0, nil) })
+	var handle *Waiting
+	k.At(1, func() {
+		handle = g.Waiters()[0]
+		p.Interrupt() // removes the entry
+	})
+	k.At(2, func() {
+		if g.Release(handle) {
+			t.Error("stale release should report false")
+		}
+	})
+	k.Run(5)
+}
+
+func TestGateServiceSection(t *testing.T) {
+	k := NewKernel()
+	g := NewGate(k, "disk")
+	var ok bool
+	var at float64
+	p := k.Spawn("w", func(p *Proc) {
+		ok = g.Wait(p, 0, nil)
+		at = p.Now()
+	})
+	k.At(1, func() {
+		w := g.Waiters()[0]
+		g.BeginService(w)
+		k.At(9, func() { g.EndService(w) })
+	})
+	// Interrupt mid-service: must defer to completion.
+	k.At(5, func() { p.Interrupt() })
+	k.Drain()
+	if ok {
+		t.Fatal("deferred interrupt not reported")
+	}
+	if at != 10 {
+		t.Fatalf("service should complete at 10, resumed at %g", at)
+	}
+}

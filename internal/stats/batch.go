@@ -1,0 +1,56 @@
+package stats
+
+import "math"
+
+// BatchMeans computes a confidence interval for a steady-state mean from
+// a time series using the batch-means method [Sarg76]: the series is cut
+// into numBatches contiguous batches, each batch mean becomes one
+// (approximately independent) observation, and a normal-theory interval
+// is formed from their spread.
+type BatchMeans struct {
+	batches Welford
+}
+
+// NewBatchMeans groups the observations into numBatches equal batches
+// (trailing remainder observations are dropped) and returns the
+// accumulator of batch means. Fewer observations than batches yields an
+// empty accumulator.
+func NewBatchMeans(obs []float64, numBatches int) *BatchMeans {
+	bm := &BatchMeans{}
+	if numBatches <= 0 || len(obs) < numBatches {
+		return bm
+	}
+	per := len(obs) / numBatches
+	for b := 0; b < numBatches; b++ {
+		var w Welford
+		for i := b * per; i < (b+1)*per; i++ {
+			w.Add(obs[i])
+		}
+		bm.batches.Add(w.Mean())
+	}
+	return bm
+}
+
+// Mean returns the grand mean across batches.
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// HalfWidth returns the half-width of the confidence interval at the
+// given level (e.g. 0.90), or 0 when fewer than two batches exist.
+func (b *BatchMeans) HalfWidth(confidence float64) float64 {
+	n := b.batches.N()
+	if n < 2 {
+		return 0
+	}
+	z := NormalQuantile(1 - (1-confidence)/2)
+	return z * b.batches.SD() / math.Sqrt(float64(n))
+}
+
+// RelativeHalfWidth returns HalfWidth divided by |Mean|, or 0 when the
+// mean is 0.
+func (b *BatchMeans) RelativeHalfWidth(confidence float64) float64 {
+	m := math.Abs(b.Mean())
+	if m == 0 {
+		return 0
+	}
+	return b.HalfWidth(confidence) / m
+}

@@ -1,0 +1,80 @@
+package stats
+
+// CurveType classifies a fitted quadratic over the range of tried MPLs,
+// matching the four cases of the paper's §3.1.1.
+type CurveType int
+
+const (
+	// CurveBowl (Type 1): opens upward with its minimum inside the tried
+	// range; the target MPL is the vertex.
+	CurveBowl CurveType = iota
+	// CurveDecreasing (Type 2): monotonically decreasing over the range;
+	// the optimum lies above the largest tried MPL.
+	CurveDecreasing
+	// CurveIncreasing (Type 3): monotonically increasing over the range;
+	// the optimum lies below the smallest tried MPL.
+	CurveIncreasing
+	// CurveHill (Type 4): opens downward with its maximum inside the
+	// range — the projection has failed and the RU heuristic takes over.
+	CurveHill
+	// CurveFlat: a degenerate (near-constant) fit carrying no signal;
+	// treated like a failed projection.
+	CurveFlat
+)
+
+// String returns the paper's name for the curve type.
+func (c CurveType) String() string {
+	switch c {
+	case CurveBowl:
+		return "bowl"
+	case CurveDecreasing:
+		return "decreasing"
+	case CurveIncreasing:
+		return "increasing"
+	case CurveHill:
+		return "hill"
+	default:
+		return "flat"
+	}
+}
+
+// curveEps is the coefficient magnitude below which the quadratic (or
+// linear) term is considered absent. Miss ratios are O(1) and MPLs
+// O(1–100), so genuine curvature is far above this threshold.
+const curveEps = 1e-9
+
+// ClassifyQuad determines the shape of y = a·x² + b·x + c over [lo, hi]
+// and, for a bowl, the x of its minimum.
+func ClassifyQuad(a, b float64, lo, hi float64) (CurveType, float64) {
+	switch {
+	case a > curveEps:
+		v := -b / (2 * a)
+		switch {
+		case v <= lo:
+			return CurveIncreasing, v
+		case v >= hi:
+			return CurveDecreasing, v
+		default:
+			return CurveBowl, v
+		}
+	case a < -curveEps:
+		v := -b / (2 * a)
+		switch {
+		case v <= lo:
+			return CurveDecreasing, v
+		case v >= hi:
+			return CurveIncreasing, v
+		default:
+			return CurveHill, v
+		}
+	default:
+		switch {
+		case b < -curveEps:
+			return CurveDecreasing, 0
+		case b > curveEps:
+			return CurveIncreasing, 0
+		default:
+			return CurveFlat, 0
+		}
+	}
+}

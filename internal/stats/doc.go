@@ -1,0 +1,9 @@
+// Package stats provides the statistical machinery PMM relies on:
+// Welford accumulators, linear and quadratic least squares maintained as
+// running sums (the paper notes PMM keeps only k, Σmpl, Σmpl², Σmpl³,
+// Σmpl⁴, Σmiss, Σmpl·miss and Σmpl²·miss rather than raw readings),
+// quadratic-curve shape classification (the Type 1–4 cases of §3.1.1),
+// large-sample z tests [Devo91] for the adaptation and workload-change
+// decisions, and batch-means confidence intervals [Sarg76] used to
+// validate the simulations.
+package stats

@@ -1,0 +1,187 @@
+package stats
+
+import "math"
+
+// LinearSums maintains the running sums for a least-squares straight
+// line y = slope·x + intercept. PMM uses one to estimate the average
+// utilization at the current MPL (§3.1.2): it records k, Σmpl, Σmpl²,
+// Σutil and Σmpl·util.
+type LinearSums struct {
+	n              int
+	sx, sxx, sy    float64
+	sxy            float64
+	xmin, xmax     float64
+	distinctFirstX float64
+	hasDistinctX   bool
+}
+
+// Add incorporates an (x, y) observation.
+func (l *LinearSums) Add(x, y float64) {
+	if l.n == 0 {
+		l.xmin, l.xmax = x, x
+		l.distinctFirstX = x
+	} else {
+		l.xmin = math.Min(l.xmin, x)
+		l.xmax = math.Max(l.xmax, x)
+		if x != l.distinctFirstX {
+			l.hasDistinctX = true
+		}
+	}
+	l.n++
+	l.sx += x
+	l.sxx += x * x
+	l.sy += y
+	l.sxy += x * y
+}
+
+// N returns the number of observations.
+func (l *LinearSums) N() int { return l.n }
+
+// XRange returns the smallest and largest x observed.
+func (l *LinearSums) XRange() (lo, hi float64) { return l.xmin, l.xmax }
+
+// Fit solves for the least-squares line. ok is false when fewer than two
+// distinct x values have been seen (the system is singular).
+func (l *LinearSums) Fit() (slope, intercept float64, ok bool) {
+	if l.n < 2 || !l.hasDistinctX {
+		return 0, 0, false
+	}
+	n := float64(l.n)
+	den := n*l.sxx - l.sx*l.sx
+	if den == 0 {
+		return 0, 0, false
+	}
+	slope = (n*l.sxy - l.sx*l.sy) / den
+	intercept = (l.sy - slope*l.sx) / n
+	return slope, intercept, true
+}
+
+// At evaluates the fitted line at x; ok is false when no fit exists.
+func (l *LinearSums) At(x float64) (y float64, ok bool) {
+	slope, intercept, ok := l.Fit()
+	if !ok {
+		return 0, false
+	}
+	return slope*x + intercept, true
+}
+
+// Reset discards all observations.
+func (l *LinearSums) Reset() { *l = LinearSums{} }
+
+// QuadSums maintains the running sums for a least-squares parabola
+// y = a·x² + b·x + c — the miss-ratio projection curve of §3.1.1. Only
+// the eight sums the paper lists are stored, not individual readings.
+type QuadSums struct {
+	n                 int
+	sx, sx2, sx3, sx4 float64
+	sy, sxy, sx2y     float64
+	xmin, xmax        float64
+	distinct          [3]float64
+	ndistinct         int
+}
+
+// Add incorporates an (x, y) observation.
+func (q *QuadSums) Add(x, y float64) {
+	if q.n == 0 {
+		q.xmin, q.xmax = x, x
+	} else {
+		q.xmin = math.Min(q.xmin, x)
+		q.xmax = math.Max(q.xmax, x)
+	}
+	if q.ndistinct < 3 {
+		seen := false
+		for i := 0; i < q.ndistinct; i++ {
+			if q.distinct[i] == x {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			q.distinct[q.ndistinct] = x
+			q.ndistinct++
+		}
+	}
+	q.n++
+	x2 := x * x
+	q.sx += x
+	q.sx2 += x2
+	q.sx3 += x2 * x
+	q.sx4 += x2 * x2
+	q.sy += y
+	q.sxy += x * y
+	q.sx2y += x2 * y
+}
+
+// N returns the number of observations.
+func (q *QuadSums) N() int { return q.n }
+
+// DistinctX reports whether at least three distinct x values were seen,
+// the minimum for a meaningful quadratic fit.
+func (q *QuadSums) DistinctX() bool { return q.ndistinct >= 3 }
+
+// XRange returns the smallest and largest x observed.
+func (q *QuadSums) XRange() (lo, hi float64) { return q.xmin, q.xmax }
+
+// Fit solves the 3×3 normal equations for (a, b, c). ok is false when
+// fewer than three distinct x values have been observed or the system is
+// numerically singular.
+func (q *QuadSums) Fit() (a, b, c float64, ok bool) {
+	if q.n < 3 || !q.DistinctX() {
+		return 0, 0, 0, false
+	}
+	// Normal equations, unknowns ordered (a, b, c):
+	//   Σx⁴·a + Σx³·b + Σx²·c = Σx²y
+	//   Σx³·a + Σx²·b + Σx·c  = Σxy
+	//   Σx²·a + Σx·b  + n·c   = Σy
+	m := [3][4]float64{
+		{q.sx4, q.sx3, q.sx2, q.sx2y},
+		{q.sx3, q.sx2, q.sx, q.sxy},
+		{q.sx2, q.sx, float64(q.n), q.sy},
+	}
+	sol, ok := solve3(m)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	return sol[0], sol[1], sol[2], true
+}
+
+// Reset discards all observations.
+func (q *QuadSums) Reset() { *q = QuadSums{} }
+
+// solve3 performs Gaussian elimination with partial pivoting on a 3×4
+// augmented matrix. ok is false for singular systems.
+func solve3(m [3][4]float64) (sol [3]float64, ok bool) {
+	const eps = 1e-12
+	for col := 0; col < 3; col++ {
+		// Pivot: the row with the largest magnitude in this column.
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < eps {
+			return sol, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < 3; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c < 4; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	for row := 2; row >= 0; row-- {
+		v := m[row][3]
+		for c := row + 1; c < 3; c++ {
+			v -= m[row][c] * sol[c]
+		}
+		sol[row] = v / m[row][row]
+	}
+	for _, v := range sol {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return sol, false
+		}
+	}
+	return sol, true
+}

@@ -1,0 +1,291 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n=%d", w.N())
+	}
+	if !almost(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean=%g", w.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almost(w.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("var=%g", w.Var())
+	}
+	if !almost(w.Sum(), 40, 1e-12) {
+		t.Fatalf("sum=%g", w.Sum())
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var all, left, right Welford
+		for _, x := range a {
+			x = math.Mod(x, 1e6)
+			all.Add(x)
+			left.Add(x)
+		}
+		for _, x := range b {
+			x = math.Mod(x, 1e6)
+			all.Add(x)
+			right.Add(x)
+		}
+		left.Merge(right)
+		return left.N() == all.N() &&
+			almost(left.Mean(), all.Mean(), 1e-6*(1+math.Abs(all.Mean()))) &&
+			almost(left.Var(), all.Var(), 1e-4*(1+all.Var()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFitRecoversLine(t *testing.T) {
+	var l LinearSums
+	for x := 1.0; x <= 20; x++ {
+		l.Add(x, 3*x+7)
+	}
+	slope, intercept, ok := l.Fit()
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if !almost(slope, 3, 1e-9) || !almost(intercept, 7, 1e-9) {
+		t.Fatalf("got y=%gx+%g", slope, intercept)
+	}
+	y, ok := l.At(100)
+	if !ok || !almost(y, 307, 1e-6) {
+		t.Fatalf("At(100)=%g", y)
+	}
+}
+
+func TestLinearFitSingular(t *testing.T) {
+	var l LinearSums
+	l.Add(5, 1)
+	l.Add(5, 3)
+	l.Add(5, 2)
+	if _, _, ok := l.Fit(); ok {
+		t.Fatal("fit with a single distinct x should fail")
+	}
+}
+
+func TestLinearFitNoisyRecovery(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var l LinearSums
+	for i := 0; i < 5000; i++ {
+		x := r.Float64() * 50
+		l.Add(x, 2*x-5+r.NormFloat64()*0.5)
+	}
+	slope, intercept, ok := l.Fit()
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if !almost(slope, 2, 0.02) || !almost(intercept, -5, 0.5) {
+		t.Fatalf("noisy fit y=%gx+%g", slope, intercept)
+	}
+}
+
+func TestQuadFitRecoversParabola(t *testing.T) {
+	var q QuadSums
+	for x := 1.0; x <= 15; x++ {
+		q.Add(x, 0.5*x*x-4*x+10)
+	}
+	a, b, c, ok := q.Fit()
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if !almost(a, 0.5, 1e-8) || !almost(b, -4, 1e-7) || !almost(c, 10, 1e-6) {
+		t.Fatalf("got a=%g b=%g c=%g", a, b, c)
+	}
+}
+
+func TestQuadFitNeedsThreeDistinctX(t *testing.T) {
+	var q QuadSums
+	q.Add(1, 1)
+	q.Add(1, 2)
+	q.Add(2, 3)
+	if q.DistinctX() {
+		t.Fatal("two distinct x reported as three")
+	}
+	if _, _, _, ok := q.Fit(); ok {
+		t.Fatal("fit with two distinct x should fail")
+	}
+	q.Add(3, 4)
+	if !q.DistinctX() {
+		t.Fatal("three distinct x not detected")
+	}
+	if _, _, _, ok := q.Fit(); !ok {
+		t.Fatal("fit with three distinct x should succeed")
+	}
+}
+
+func TestQuadFitPropertyExactRecovery(t *testing.T) {
+	f := func(a8, b8, c8 int8) bool {
+		a := float64(a8)/16 + 0.1 // keep away from 0
+		b := float64(b8) / 8
+		c := float64(c8) / 4
+		var q QuadSums
+		for x := 1.0; x <= 12; x++ {
+			q.Add(x, a*x*x+b*x+c)
+		}
+		ga, gb, gc, ok := q.Fit()
+		return ok && almost(ga, a, 1e-6) && almost(gb, b, 1e-5) && almost(gc, c, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXRangeTracking(t *testing.T) {
+	var q QuadSums
+	for _, x := range []float64{5, 2, 9, 3} {
+		q.Add(x, x)
+	}
+	lo, hi := q.XRange()
+	if lo != 2 || hi != 9 {
+		t.Fatalf("range [%g,%g], want [2,9]", lo, hi)
+	}
+}
+
+func TestClassifyQuadTypes(t *testing.T) {
+	cases := []struct {
+		name   string
+		a, b   float64
+		lo, hi float64
+		want   CurveType
+	}{
+		{"bowl inside", 1, -10, 2, 8, CurveBowl},                // vertex 5
+		{"upward, vertex above", 1, -40, 2, 8, CurveDecreasing}, // vertex 20
+		{"upward, vertex below", 1, -2, 2, 8, CurveIncreasing},  // vertex 1
+		{"hill inside", -1, 10, 2, 8, CurveHill},                // max 5
+		{"downward, vertex above", -1, 40, 2, 8, CurveIncreasing},
+		{"downward, vertex below", -1, 2, 2, 8, CurveDecreasing},
+		{"linear down", 0, -1, 2, 8, CurveDecreasing},
+		{"linear up", 0, 1, 2, 8, CurveIncreasing},
+		{"flat", 0, 0, 2, 8, CurveFlat},
+	}
+	for _, c := range cases {
+		got, _ := ClassifyQuad(c.a, c.b, c.lo, c.hi)
+		if got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyBowlVertex(t *testing.T) {
+	ct, v := ClassifyQuad(2, -20, 0, 10)
+	if ct != CurveBowl || !almost(v, 5, 1e-12) {
+		t.Fatalf("got %v vertex %g", ct, v)
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.005, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 0.995} {
+		z := NormalQuantile(p)
+		if !almost(NormalCDF(z), p, 1e-8) {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, NormalCDF(z))
+		}
+	}
+	// Known critical values.
+	if !almost(NormalQuantile(0.95), 1.6449, 1e-3) {
+		t.Errorf("z_0.95 = %g", NormalQuantile(0.95))
+	}
+	if !almost(NormalQuantile(0.995), 2.5758, 1e-3) {
+		t.Errorf("z_0.995 = %g", NormalQuantile(0.995))
+	}
+}
+
+func TestMeanGreaterThanZero(t *testing.T) {
+	var zero Welford
+	if MeanGreaterThanZero(&zero, 0.95) {
+		t.Fatal("empty sample should not reject H0")
+	}
+	var w Welford
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		w.Add(5 + r.NormFloat64())
+	}
+	if !MeanGreaterThanZero(&w, 0.95) {
+		t.Fatal("clearly positive mean not detected")
+	}
+	var n Welford
+	for i := 0; i < 200; i++ {
+		n.Add(r.NormFloat64()) // mean 0
+	}
+	if MeanGreaterThanZero(&n, 0.99) {
+		t.Fatal("zero-mean sample rejected H0 at 99%")
+	}
+	// All-zero waiting times: degenerate variance, mean exactly 0.
+	var z Welford
+	for i := 0; i < 50; i++ {
+		z.Add(0)
+	}
+	if MeanGreaterThanZero(&z, 0.95) {
+		t.Fatal("all-zero sample should not be 'greater than zero'")
+	}
+}
+
+func TestMeansDiffer(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var a, b, c Welford
+	for i := 0; i < 300; i++ {
+		a.Add(100 + r.NormFloat64()*10)
+		b.Add(100 + r.NormFloat64()*10)
+		c.Add(150 + r.NormFloat64()*10)
+	}
+	if MeansDiffer(&a, &b, 0.99) {
+		t.Fatal("same-mean samples flagged as different")
+	}
+	if !MeansDiffer(&a, &c, 0.99) {
+		t.Fatal("clearly different means not detected")
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	obs := make([]float64, 2000)
+	for i := range obs {
+		obs[i] = 0.2 + r.NormFloat64()*0.05
+	}
+	bm := NewBatchMeans(obs, 10)
+	if !almost(bm.Mean(), 0.2, 0.01) {
+		t.Fatalf("mean=%g", bm.Mean())
+	}
+	hw := bm.HalfWidth(0.90)
+	if hw <= 0 || hw > 0.05 {
+		t.Fatalf("half-width=%g", hw)
+	}
+	if rel := bm.RelativeHalfWidth(0.90); !almost(rel, hw/bm.Mean(), 1e-12) {
+		t.Fatalf("relative half-width=%g", rel)
+	}
+}
+
+func TestBatchMeansDegenerate(t *testing.T) {
+	bm := NewBatchMeans([]float64{1, 2}, 10)
+	if bm.HalfWidth(0.9) != 0 {
+		t.Fatal("insufficient data should yield zero half-width")
+	}
+}
+
+func TestSolve3Singular(t *testing.T) {
+	// Two identical rows ⇒ singular.
+	_, ok := solve3([3][4]float64{
+		{1, 2, 3, 4},
+		{1, 2, 3, 4},
+		{2, 1, 0, 1},
+	})
+	if ok {
+		t.Fatal("singular system reported solvable")
+	}
+}

@@ -1,0 +1,63 @@
+package stats
+
+import "math"
+
+// Welford accumulates a sample mean and variance in one pass using
+// Welford's numerically stable recurrence. The zero value is an empty
+// accumulator ready for use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	sum  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	w.sum += x
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Sum returns the total of all observations.
+func (w *Welford) Sum() float64 { return w.sum }
+
+// Mean returns the sample mean, or 0 for an empty accumulator.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (n-1 denominator), or 0 when
+// fewer than two observations have been added.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// SD returns the sample standard deviation.
+func (w *Welford) SD() float64 { return math.Sqrt(w.Var()) }
+
+// Reset empties the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Merge combines another accumulator into this one (parallel Welford).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.sum += o.sum
+	w.n = n
+}

@@ -1,0 +1,80 @@
+package stats
+
+import "math"
+
+// NormalCDF returns P(Z ≤ z) for a standard normal variable.
+func NormalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// NormalQuantile returns the z value with P(Z ≤ z) = p, using Acklam's
+// rational approximation (|error| < 1.15e-9), good far beyond the needs
+// of 95% and 99% tests. It panics outside (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: quantile probability out of (0,1)")
+	}
+	// Coefficients for Acklam's inverse normal CDF approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// MeanGreaterThanZero runs a one-sided large-sample z test [Devo91] of
+// H0: μ = 0 against H1: μ > 0 at the given confidence level (e.g. 0.95).
+// It reports true when H0 is rejected — i.e. the sample mean is
+// statistically above zero. With fewer than two observations or zero
+// variance the test degenerates to comparing the mean against zero.
+func MeanGreaterThanZero(w *Welford, confidence float64) bool {
+	if w.N() == 0 {
+		return false
+	}
+	sd := w.SD()
+	if w.N() < 2 || sd == 0 {
+		return w.Mean() > 0
+	}
+	z := w.Mean() / (sd / math.Sqrt(float64(w.N())))
+	return z > NormalQuantile(confidence)
+}
+
+// MeansDiffer runs a two-sided two-sample large-sample z test of
+// H0: μ₁ = μ₂ at the given confidence level (e.g. 0.99 ⇒ reject when
+// |z| > z₀.₀₀₅). PMM uses it to decide whether a monitored workload
+// characteristic has changed between sampling periods. Degenerate inputs
+// (no data or zero pooled variance) fall back to exact comparison.
+func MeansDiffer(a, b *Welford, confidence float64) bool {
+	if a.N() == 0 || b.N() == 0 {
+		return false
+	}
+	se := math.Sqrt(a.Var()/float64(a.N()) + b.Var()/float64(b.N()))
+	if se == 0 {
+		return a.Mean() != b.Mean()
+	}
+	z := (a.Mean() - b.Mean()) / se
+	crit := NormalQuantile(1 - (1-confidence)/2)
+	return math.Abs(z) > crit
+}

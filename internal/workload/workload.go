@@ -1,0 +1,192 @@
+// Package workload implements the paper's workload model (§4.1): query
+// classes (hash joins or external sorts over relation groups) with
+// Poisson arrivals, and firm deadlines assigned as
+//
+//	Deadline = StandAlone · SlackRatio + Arrival
+//
+// where StandAlone is the query's execution time alone in the system
+// with its maximum memory allocation and SlackRatio is uniform over the
+// class's slack range. StandAlone is computed analytically from the same
+// cost model the simulator executes, so deadlines are exactly as tight
+// relative to query size as in the paper.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pmm/internal/catalog"
+	"pmm/internal/cpu"
+	"pmm/internal/disk"
+	"pmm/internal/extsort"
+	"pmm/internal/join"
+	"pmm/internal/query"
+	"pmm/internal/sim"
+)
+
+// ClassSpec describes one workload class (paper Table 2).
+type ClassSpec struct {
+	// Name labels the class in reports (e.g. "Medium", "Small").
+	Name string
+	// Kind selects hash joins or external sorts.
+	Kind query.Type
+	// RelGroups lists the operand relation group(s): one group for
+	// sorts; two for joins (the smaller pick becomes the inner relation).
+	RelGroups []int
+	// ArrivalRate is the Poisson rate λ in queries/second.
+	ArrivalRate float64
+	// SlackRange is the uniform range of slack ratios.
+	SlackRange [2]float64
+}
+
+// Params holds workload-wide constants.
+type Params struct {
+	// FudgeFactor is the hash-table space overhead F (paper: 1.1,
+	// derived from the §5.1 memory-demand figures).
+	FudgeFactor float64
+	// TuplesPerPage is PageSize/TupleSize (8 KB pages, 200 B tuples: 40).
+	TuplesPerPage int
+	// BlockSize is the sequential-I/O prefetch unit in pages.
+	BlockSize int
+}
+
+// DefaultParams returns the defaults used across the paper's experiments.
+func DefaultParams() Params {
+	return Params{FudgeFactor: 1.1, TuplesPerPage: 40, BlockSize: 6}
+}
+
+// Generator produces queries for a set of classes.
+type Generator struct {
+	classes []ClassSpec
+	cat     *catalog.Catalog
+	dp      disk.Params
+	mips    float64
+	params  Params
+
+	arr    []*rand.Rand // inter-arrival stream per class
+	rel    []*rand.Rand // relation-choice stream per class
+	slack  []*rand.Rand // slack-ratio stream per class
+	nextID int64
+}
+
+// NewGenerator builds a generator with independent deterministic streams
+// per class derived from seed.
+func NewGenerator(cat *catalog.Catalog, dp disk.Params, mips float64,
+	params Params, classes []ClassSpec, seed int64) (*Generator, error) {
+	g := &Generator{classes: classes, cat: cat, dp: dp, mips: mips, params: params}
+	for ci, cl := range classes {
+		want := 1
+		if cl.Kind == query.HashJoin {
+			want = 2
+		}
+		if len(cl.RelGroups) != want {
+			return nil, fmt.Errorf("workload: class %q (%v) needs %d relation groups, got %d",
+				cl.Name, cl.Kind, want, len(cl.RelGroups))
+		}
+		for _, gi := range cl.RelGroups {
+			if gi < 0 || gi >= cat.NumGroups() {
+				return nil, fmt.Errorf("workload: class %q references group %d of %d",
+					cl.Name, gi, cat.NumGroups())
+			}
+		}
+		g.arr = append(g.arr, sim.NewRand(seed, uint64(100+ci)))
+		g.rel = append(g.rel, sim.NewRand(seed, uint64(200+ci)))
+		g.slack = append(g.slack, sim.NewRand(seed, uint64(300+ci)))
+	}
+	return g, nil
+}
+
+// Classes returns the class specifications.
+func (g *Generator) Classes() []ClassSpec { return g.classes }
+
+// InterArrival draws the next inter-arrival gap for a class at the given
+// rate (queries/second). The rate is passed explicitly because phased
+// experiments vary it over time.
+func (g *Generator) InterArrival(class int, rate float64) float64 {
+	return sim.Exp(g.arr[class], 1/rate)
+}
+
+// NewQuery creates the next query of a class arriving at time now.
+func (g *Generator) NewQuery(class int, now float64) *query.Query {
+	cl := g.classes[class]
+	g.nextID++
+	q := &query.Query{
+		ID:        g.nextID,
+		Class:     class,
+		ClassName: cl.Name,
+		Kind:      cl.Kind,
+		Arrival:   now,
+	}
+	switch cl.Kind {
+	case query.HashJoin:
+		a := g.cat.Pick(g.rel[class], cl.RelGroups[0])
+		b := g.cat.Pick(g.rel[class], cl.RelGroups[1])
+		// The smaller relation builds; the larger probes.
+		if b.Pages < a.Pages {
+			a, b = b, a
+		}
+		q.R, q.S = a, b
+		q.MinMem, q.MaxMem = join.MemoryNeeds(a.Pages, g.params.FudgeFactor)
+		q.ReadIOs = blocks(a.Pages, g.params.BlockSize) + blocks(b.Pages, g.params.BlockSize)
+		q.StandAlone = g.JoinStandAlone(a.Pages, b.Pages)
+	case query.ExternalSort:
+		r := g.cat.Pick(g.rel[class], cl.RelGroups[0])
+		q.R = r
+		q.MinMem, q.MaxMem = extsort.MemoryNeeds(r.Pages)
+		q.ReadIOs = blocks(r.Pages, g.params.BlockSize)
+		q.StandAlone = g.SortStandAlone(r.Pages)
+	}
+	q.SlackRatio = sim.Uniform(g.slack[class], cl.SlackRange[0], cl.SlackRange[1])
+	q.Deadline = q.StandAlone*q.SlackRatio + q.Arrival
+	return q
+}
+
+// blocks returns the number of block I/Os to read n pages.
+func blocks(pages, blockSize int) int {
+	return (pages + blockSize - 1) / blockSize
+}
+
+// scanTime is the expected time to sequentially scan nBlocks blocks of
+// one extent on an otherwise idle disk: the first block pays seek and
+// rotational delay, after which the prefetch cache streams the rest at
+// transfer rate.
+func (g *Generator) scanTime(nBlocks int) float64 {
+	if nBlocks <= 0 {
+		return 0
+	}
+	first := g.dp.SeekTime(1) + g.dp.RotationTime/2
+	return first + float64(nBlocks)*g.dp.TransferTime(g.params.BlockSize)
+}
+
+// cpuSec converts instructions to seconds at the configured MIPS rating.
+func (g *Generator) cpuSec(instr float64) float64 { return instr / (g.mips * 1e6) }
+
+// JoinStandAlone returns the stand-alone execution time of a hash join
+// with maximum memory: read both relations once and process every tuple,
+// with no spooling.
+func (g *Generator) JoinStandAlone(rPages, sPages int) float64 {
+	bs, tpp := g.params.BlockSize, g.params.TuplesPerPage
+	nbR, nbS := blocks(rPages, bs), blocks(sPages, bs)
+	io := g.scanTime(nbR) + g.scanTime(nbS)
+	instr := cpu.CostInitQuery + cpu.CostTermQuery +
+		float64(nbR+nbS)*cpu.CostStartIO +
+		float64(rPages*tpp)*cpu.CostHashBuild +
+		float64(sPages*tpp)*(cpu.CostHashProbe+cpu.CostHashCopy)
+	return io + g.cpuSec(instr)
+}
+
+// SortStandAlone returns the stand-alone execution time of an external
+// sort with maximum memory: a one-pass in-memory sort.
+func (g *Generator) SortStandAlone(rPages int) float64 {
+	bs, tpp := g.params.BlockSize, g.params.TuplesPerPage
+	nBlocks := blocks(rPages, bs)
+	io := g.scanTime(nBlocks)
+	tuples := float64(rPages * tpp)
+	compares := cpu.CostCompare * math.Ceil(math.Log2(math.Max(float64(rPages*tpp), 2)))
+	instr := cpu.CostInitQuery + cpu.CostTermQuery +
+		float64(nBlocks)*cpu.CostStartIO +
+		tuples*(cpu.CostSortCopy+compares) + // run formation
+		tuples*cpu.CostSortCopy // output
+	return io + g.cpuSec(instr)
+}

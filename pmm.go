@@ -1,0 +1,110 @@
+// Package pmm is a simulation library for Priority Memory Management
+// (PMM), the adaptive admission-control and memory-allocation algorithm
+// for firm real-time database systems introduced by Pang, Carey and
+// Livny in "Managing Memory for Real-Time Queries" (SIGMOD 1994).
+//
+// The library contains a complete discrete-event simulator of the
+// paper's centralized RTDBS — an Earliest-Deadline CPU, ED+elevator
+// disks with prefetching caches, a reservation-based buffer pool with
+// LRU replacement, memory-adaptive operators (partially preemptible
+// hash joins and adaptive external sorts), Poisson workload classes with
+// firm deadlines — plus the PMM controller itself and the static
+// algorithms it is compared against (Max, MinMax-N, Proportional-N).
+//
+// # Quick start
+//
+//	cfg := pmm.BaselineConfig()
+//	cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyPMM}
+//	cfg.Classes[0].ArrivalRate = 0.06
+//	res, err := pmm.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Printf("miss ratio: %.1f%%\n", 100*res.MissRatio)
+//
+// Every run is fully deterministic for a fixed Config (including Seed).
+package pmm
+
+import (
+	"pmm/internal/catalog"
+	"pmm/internal/core"
+	"pmm/internal/disk"
+	"pmm/internal/query"
+	"pmm/internal/rtdbs"
+	"pmm/internal/workload"
+)
+
+// Core configuration and result types, aliased from the implementation
+// packages so the whole API is reachable from this single import.
+type (
+	// Config fully describes one simulation run.
+	Config = rtdbs.Config
+	// PolicyConfig selects the memory-allocation algorithm.
+	PolicyConfig = rtdbs.PolicyConfig
+	// PolicyKind enumerates the allocation algorithms of Table 5.
+	PolicyKind = rtdbs.PolicyKind
+	// Phase is one segment of a time-varying workload.
+	Phase = rtdbs.Phase
+	// System is an assembled simulator instance.
+	System = rtdbs.System
+	// Results summarizes a finished run.
+	Results = rtdbs.Results
+	// ClassResult summarizes one workload class within Results.
+	ClassResult = rtdbs.ClassResult
+	// TermEvent is one query termination in Results.Events.
+	TermEvent = rtdbs.TermEvent
+	// GroupSpec describes a relation group of the database (§4.1).
+	GroupSpec = catalog.GroupSpec
+	// ClassSpec describes a workload class (§4.1).
+	ClassSpec = workload.ClassSpec
+	// QueryType distinguishes hash joins from external sorts.
+	QueryType = query.Type
+	// DiskParams is the physical disk configuration (Table 3).
+	DiskParams = disk.Params
+	// PMMConfig carries the PMM parameters of Table 1.
+	PMMConfig = core.Config
+	// FairnessConfig parameterizes the class-fairness extension.
+	FairnessConfig = core.FairnessConfig
+	// PMMMode is the active allocation strategy (Max or MinMax).
+	PMMMode = core.Mode
+	// TracePoint is one PMM decision record (Figures 6 and 15).
+	TracePoint = core.TracePoint
+)
+
+// Allocation policies (paper Table 5).
+const (
+	// PolicyMax always uses the Max strategy.
+	PolicyMax = rtdbs.PolicyMax
+	// PolicyMinMax is MinMax-N (PolicyConfig.MPLLimit 0 = plain MinMax).
+	PolicyMinMax = rtdbs.PolicyMinMax
+	// PolicyProportional is Proportional-N.
+	PolicyProportional = rtdbs.PolicyProportional
+	// PolicyPMM is the adaptive Priority Memory Management algorithm.
+	PolicyPMM = rtdbs.PolicyPMM
+	// PolicyFairPMM is PMM with the §5.6 class-fairness extension.
+	PolicyFairPMM = rtdbs.PolicyFairPMM
+)
+
+// Query types.
+const (
+	// HashJoin queries join two relations with a PPHJ join.
+	HashJoin = query.HashJoin
+	// ExternalSort queries sort a single relation.
+	ExternalSort = query.ExternalSort
+)
+
+// New assembles a simulator for cfg without running it.
+func New(cfg Config) (*System, error) { return rtdbs.New(cfg) }
+
+// Run assembles and runs a simulation to its configured horizon.
+func Run(cfg Config) (*Results, error) {
+	sys, err := rtdbs.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run(), nil
+}
+
+// DefaultDiskParams returns the paper's Table 3 disk configuration.
+func DefaultDiskParams() DiskParams { return disk.DefaultParams() }
+
+// DefaultPMMConfig returns the paper's Table 1 PMM parameters.
+func DefaultPMMConfig() PMMConfig { return core.DefaultConfig() }

@@ -1,0 +1,83 @@
+package pmm_test
+
+import (
+	"testing"
+
+	"pmm"
+)
+
+func TestPresetsAssemble(t *testing.T) {
+	presets := map[string]pmm.Config{
+		"baseline":   pmm.BaselineConfig(),
+		"contention": pmm.DiskContentionConfig(),
+		"changes":    pmm.WorkloadChangeConfig(),
+		"sorts":      pmm.ExternalSortConfig(),
+		"multiclass": pmm.MulticlassConfig(0.4),
+		"scaled-0.5": pmm.ScaledConfig(0.5),
+		"scaled-2":   pmm.ScaledConfig(2),
+	}
+	for name, cfg := range presets {
+		cfg.Duration = 1 // don't actually simulate anything
+		if _, err := pmm.New(cfg); err != nil {
+			t.Errorf("preset %s does not assemble: %v", name, err)
+		}
+	}
+}
+
+func TestRunBaselineEndToEnd(t *testing.T) {
+	cfg := pmm.BaselineConfig()
+	cfg.Duration = 1200
+	cfg.Classes[0].ArrivalRate = 0.05
+	cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyPMM}
+	res, err := pmm.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminated == 0 {
+		t.Fatal("nothing terminated")
+	}
+	if res.Policy != "PMM" {
+		t.Fatalf("policy %q", res.Policy)
+	}
+	if res.Duration != 1200 {
+		t.Fatalf("duration %g", res.Duration)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	cases := map[string]pmm.PolicyConfig{
+		"Max":          {Kind: pmm.PolicyMax},
+		"MinMax":       {Kind: pmm.PolicyMinMax},
+		"MinMax-10":    {Kind: pmm.PolicyMinMax, MPLLimit: 10},
+		"Proportional": {Kind: pmm.PolicyProportional},
+		"PMM":          {Kind: pmm.PolicyPMM},
+	}
+	for want, pol := range cases {
+		if got := (pmm.Config{Policy: pol}).PolicyName(); got != want {
+			t.Errorf("PolicyName = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestScaledConfigScalesEverything(t *testing.T) {
+	base := pmm.DiskContentionConfig()
+	half := pmm.ScaledConfig(0.5)
+	if half.MemoryPages != 1280 { // 2560/2; the preset leaves 0 = default
+		t.Fatalf("memory %d", half.MemoryPages)
+	}
+	if half.Groups[0].SizeRange[0] != base.Groups[0].SizeRange[0]/2 {
+		t.Fatalf("sizes %v", half.Groups[0].SizeRange)
+	}
+	if half.Classes[0].ArrivalRate != base.Classes[0].ArrivalRate*2 {
+		t.Fatalf("rate %g", half.Classes[0].ArrivalRate)
+	}
+}
+
+func TestDefaultParamsExposed(t *testing.T) {
+	if pmm.DefaultDiskParams().NumDisks != 10 {
+		t.Fatal("disk defaults")
+	}
+	if pmm.DefaultPMMConfig().SampleSize != 30 {
+		t.Fatal("PMM defaults")
+	}
+}
