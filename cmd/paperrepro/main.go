@@ -5,6 +5,11 @@
 //	paperrepro            # full horizons (10 simulated hours per run)
 //	paperrepro -quick     # 1/6 horizons, coarser grids (for smoke runs)
 //	paperrepro -only fig3,fig11
+//	paperrepro -reps 5    # 5 replicates per point; cells become mean±CI
+//
+// Every figure grid runs through the shared replicated-sweep engine
+// (pmm.Sweep): -reps replicates each point at deterministically derived
+// seeds and -workers bounds parallelism without affecting results.
 package main
 
 import (
@@ -24,6 +29,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		only    = flag.String("only", "", "comma-separated report ids (e.g. fig3,table7); empty = all")
 		out     = flag.String("out", "", "also write the reports to this file")
+		reps    = flag.Int("reps", 1, "replicates per sweep point; > 1 reports mean ± CI cells")
+		workers = flag.Int("workers", 0, "max parallel simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -35,7 +42,7 @@ func main() {
 	}
 
 	start := time.Now()
-	reports, err := exp.All(exp.Options{Seed: *seed, Quick: *quick, Horizon: *horizon})
+	reports, err := exp.All(exp.Options{Seed: *seed, Quick: *quick, Horizon: *horizon, Reps: *reps, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,12 +1,20 @@
-// Command rtdbsim runs a single firm-RTDBS simulation and prints a
-// metrics report. It exposes the main knobs of the paper's model:
+// Command rtdbsim runs a firm-RTDBS simulation — optionally replicated
+// across deterministic seeds — and prints a metrics report. It exposes
+// the main knobs of the paper's model:
 //
 //	rtdbsim -preset baseline -policy pmm -rate 0.06 -hours 10
 //	rtdbsim -preset contention -policy minmax -mpl 10 -rate 0.07
 //	rtdbsim -preset sorts -policy max -rate 0.10 -seed 7
+//	rtdbsim -preset baseline -policy pmm -rate 0.06 -reps 8 -json
+//
+// With -reps N the configuration is replicated N times (replicate 0 at
+// -seed, the rest at seeds derived from it) on a -workers pool, and the
+// report carries mean ± confidence-interval aggregates. With -json the
+// run emits a machine-readable document instead of text.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,16 +25,20 @@ import (
 
 func main() {
 	var (
-		preset = flag.String("preset", "baseline", "workload preset: baseline | contention | sorts | changes | multiclass")
-		policy = flag.String("policy", "pmm", "allocation policy: max | minmax | proportional | pmm | fairpmm")
-		mpl    = flag.Int("mpl", 0, "MPL limit N for minmax/proportional (0 = unlimited)")
-		rate   = flag.Float64("rate", 0, "arrival rate of the first class in queries/sec (0 = preset default)")
-		small  = flag.Float64("small", 0.4, "Small-class arrival rate (multiclass preset only)")
-		hours  = flag.Float64("hours", 10, "simulated hours")
-		seed   = flag.Int64("seed", 1, "random seed")
-		disks  = flag.Int("disks", 0, "number of disks (0 = preset default)")
-		memory = flag.Int("memory", 0, "buffer pool pages M (0 = preset default)")
-		trace  = flag.Bool("trace", false, "print the PMM decision trace")
+		preset  = flag.String("preset", "baseline", "workload preset: baseline | contention | sorts | changes | multiclass")
+		policy  = flag.String("policy", "pmm", "allocation policy: max | minmax | proportional | pmm | fairpmm")
+		mpl     = flag.Int("mpl", 0, "MPL limit N for minmax/proportional (0 = unlimited)")
+		rate    = flag.Float64("rate", 0, "arrival rate of the first class in queries/sec (0 = preset default)")
+		small   = flag.Float64("small", 0.4, "Small-class arrival rate (multiclass preset only)")
+		hours   = flag.Float64("hours", 10, "simulated hours")
+		seed    = flag.Int64("seed", 1, "random seed (replicate 0; further replicates derive from it)")
+		disks   = flag.Int("disks", 0, "number of disks (0 = preset default)")
+		memory  = flag.Int("memory", 0, "buffer pool pages M (0 = preset default)")
+		trace   = flag.Bool("trace", false, "print the PMM decision trace (replicate 0)")
+		reps    = flag.Int("reps", 1, "replicates with derived seeds; > 1 reports mean ± CI")
+		workers = flag.Int("workers", 0, "max parallel simulations (0 = GOMAXPROCS)")
+		asJSON  = flag.Bool("json", false, "emit a JSON document with per-replicate and aggregated results")
+		conf    = flag.Float64("confidence", 0.95, "confidence level of aggregate intervals")
 	)
 	flag.Parse()
 
@@ -81,14 +93,26 @@ func main() {
 		cfg.MemoryPages = *memory
 	}
 
-	res, err := pmm.Run(cfg)
+	runs, err := pmm.RunMany(cfg, *reps, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	agg := pmm.Aggregate(runs, *conf)
+	res := runs[0]
+
+	if *asJSON {
+		emitJSON(cfg, *preset, *seed, runs, agg)
+		return
+	}
 
 	fmt.Printf("policy            %s\n", res.Policy)
 	fmt.Printf("simulated         %.0f s\n", res.Duration)
+	if len(runs) > 1 {
+		printAggregate(cfg, runs, agg)
+		printTrace(*trace, res)
+		return
+	}
 	fmt.Printf("arrived           %d\n", res.Arrived)
 	fmt.Printf("terminated        %d (completed %d, missed %d)\n", res.Terminated, res.Completed, res.Missed)
 	fmt.Printf("miss ratio        %.2f%% (±%.2f%% at 90%%)\n", 100*res.MissRatio, 100*res.MissRatioHW90)
@@ -104,19 +128,99 @@ func main() {
 	fmt.Printf("mem fluctuations  %.2f per query\n", res.AvgFluctuations)
 	fmt.Printf("I/O amplification %.2f (pages: %d read, %d spooled out, %d spooled in)\n",
 		res.AvgIOAmplification, res.IOBreakdown.RelRead, res.IOBreakdown.SpoolWrite, res.IOBreakdown.SpoolRead)
-	if *trace && len(res.PMMTrace) > 0 {
-		fmt.Println("\nPMM trace (time, mode, target, realized MPL, batch miss%):")
-		for _, pt := range res.PMMTrace {
-			target := fmt.Sprintf("%d", pt.Target)
-			if pt.Target == 0 {
-				target = "inf"
-			}
-			reset := ""
-			if pt.Restart {
-				reset = "  [workload change: reset]"
-			}
-			fmt.Printf("  %7.0f  %-6s  %4s  %6.2f  %5.1f%%%s\n",
-				pt.Time, pt.Mode, target, pt.Realized, 100*pt.MissRatio, reset)
+	printTrace(*trace, res)
+}
+
+// printAggregate renders the replicated report: mean ± CI per metric.
+func printAggregate(cfg pmm.Config, runs []*pmm.Results, agg pmm.Summary) {
+	ci := func(s pmm.Stat, scale float64, unit string) string {
+		return fmt.Sprintf("%.2f%s ± %.2f%s", scale*s.Mean, unit, scale*s.HalfWidth, unit)
+	}
+	fmt.Printf("replicates        %d (seeds derived from %d, %.0f%% CIs)\n",
+		agg.Reps, cfg.Seed, 100*agg.Confidence)
+	fmt.Printf("miss ratio        %s\n", ci(agg.MissRatio, 100, "%"))
+	for _, c := range agg.PerClass {
+		fmt.Printf("  class %-8s  %s missed, %.0f±%.0f terminated\n",
+			c.Name, ci(c.MissRatio, 100, "%"), c.Terminated.Mean, c.Terminated.HalfWidth)
+	}
+	fmt.Printf("terminated        %s\n", ci(agg.Terminated, 1, ""))
+	fmt.Printf("avg waiting       %s s\n", ci(agg.AvgWait, 1, ""))
+	fmt.Printf("avg execution     %s s\n", ci(agg.AvgExec, 1, ""))
+	fmt.Printf("avg response      %s s\n", ci(agg.AvgResponse, 1, ""))
+	fmt.Printf("observed MPL      %s\n", ci(agg.AvgMPL, 1, ""))
+	fmt.Printf("disk utilization  %s avg; CPU %s\n", ci(agg.AvgDiskUtil, 100, "%"), ci(agg.CPUUtil, 100, "%"))
+	fmt.Printf("mem fluctuations  %s per query\n", ci(agg.AvgFluctuations, 1, ""))
+	fmt.Println("per replicate     seed, miss%:")
+	for i, r := range runs {
+		fmt.Printf("  rep %-3d  seed %-20d  %.2f%%\n", i, pmm.ReplicateSeed(cfg.Seed, i), 100*r.MissRatio)
+	}
+}
+
+// printTrace optionally dumps the PMM decision trace.
+func printTrace(enabled bool, res *pmm.Results) {
+	if !enabled || len(res.PMMTrace) == 0 {
+		return
+	}
+	fmt.Println("\nPMM trace (time, mode, target, realized MPL, batch miss%):")
+	for _, pt := range res.PMMTrace {
+		target := fmt.Sprintf("%d", pt.Target)
+		if pt.Target == 0 {
+			target = "inf"
 		}
+		reset := ""
+		if pt.Restart {
+			reset = "  [workload change: reset]"
+		}
+		fmt.Printf("  %7.0f  %-6s  %4s  %6.2f  %5.1f%%%s\n",
+			pt.Time, pt.Mode, target, pt.Realized, 100*pt.MissRatio, reset)
+	}
+}
+
+// replicateJSON is the per-replicate slice of the JSON document.
+type replicateJSON struct {
+	Rep         int     `json:"rep"`
+	Seed        int64   `json:"seed"`
+	Arrived     int     `json:"arrived"`
+	Terminated  int     `json:"terminated"`
+	Missed      int     `json:"missed"`
+	MissRatio   float64 `json:"missRatio"`
+	AvgMPL      float64 `json:"avgMPL"`
+	AvgDiskUtil float64 `json:"avgDiskUtil"`
+	CPUUtil     float64 `json:"cpuUtil"`
+	AvgResponse float64 `json:"avgResponse"`
+}
+
+// emitJSON writes the machine-readable report: the run's identity, the
+// per-point aggregate (mean/CI), and every replicate.
+func emitJSON(cfg pmm.Config, preset string, seed int64, runs []*pmm.Results, agg pmm.Summary) {
+	doc := struct {
+		Preset     string          `json:"preset"`
+		Policy     string          `json:"policy"`
+		Duration   float64         `json:"duration"`
+		Seed       int64           `json:"seed"`
+		Reps       int             `json:"reps"`
+		Aggregate  pmm.Summary     `json:"aggregate"`
+		Replicates []replicateJSON `json:"replicates"`
+	}{
+		Preset:    preset,
+		Policy:    runs[0].Policy,
+		Duration:  runs[0].Duration,
+		Seed:      seed,
+		Reps:      len(runs),
+		Aggregate: agg,
+	}
+	for i, r := range runs {
+		doc.Replicates = append(doc.Replicates, replicateJSON{
+			Rep: i, Seed: pmm.ReplicateSeed(seed, i),
+			Arrived: r.Arrived, Terminated: r.Terminated, Missed: r.Missed,
+			MissRatio: r.MissRatio, AvgMPL: r.AvgMPL,
+			AvgDiskUtil: r.AvgDiskUtil, CPUUtil: r.CPUUtil, AvgResponse: r.AvgResponse,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

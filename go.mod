@@ -1,0 +1,3 @@
+module pmm
+
+go 1.22

@@ -30,31 +30,22 @@ func (o Options) baselineRates() []float64 {
 // four algorithms.
 func Baseline(o Options) ([]*Report, error) {
 	rates := o.baselineRates()
-	var specs []runSpec
-	for _, rate := range rates {
-		for _, pol := range baselinePolicies() {
-			cfg := pmm.BaselineConfig()
-			cfg.Seed = o.Seed
-			cfg.Duration = o.horizon(36000)
-			cfg.Classes[0].ArrivalRate = rate
-			cfg.Policy = pol
-			specs = append(specs, runSpec{key: fmt.Sprintf("%g/%d/%d", rate, pol.Kind, pol.MPLLimit), cfg: cfg})
-		}
-	}
-	res, err := runAll(specs)
+	pols := baselinePolicies()
+	base := pmm.BaselineConfig()
+	base.Duration = o.horizon(36000)
+	points, err := o.sweep(base, rateAxis(rates), policyAxis(pols))
 	if err != nil {
 		return nil, err
 	}
 
-	get := func(rate float64, pol pmm.PolicyConfig) *pmm.Results {
-		return res[fmt.Sprintf("%g/%d/%d", rate, pol.Kind, pol.MPLLimit)]
+	get := func(rate float64, pol pmm.PolicyConfig) *pmm.PointResult {
+		return pmm.FindPoint(points, "rate", gLabel(rate), "policy", policyLabel(pol))
 	}
-	pols := baselinePolicies()
 	header := []string{"arrival rate"}
 	for _, pol := range pols {
-		header = append(header, (pmm.Config{Policy: pol}).PolicyName())
+		header = append(header, policyLabel(pol))
 	}
-	metricReport := func(id, title string, metric func(*pmm.Results) string) *Report {
+	metricReport := func(id, title string, metric func(*pmm.PointResult) string) *Report {
 		rep := &Report{ID: id, Title: title, Header: header}
 		for _, rate := range rates {
 			row := []string{fmt.Sprintf("%.2f", rate)}
@@ -67,16 +58,16 @@ func Baseline(o Options) ([]*Report, error) {
 	}
 
 	fig3 := metricReport("fig3", "Miss Ratio %% (Baseline)",
-		func(r *pmm.Results) string { return pct(r.MissRatio) })
+		func(p *pmm.PointResult) string { return cellPct(p.Agg.MissRatio) })
 	fig3.Notes = append(fig3.Notes, "paper: MinMax lowest, PMM close behind, Proportional then Max degrade fastest")
 	fig4 := metricReport("fig4", "Avg Disk Utilization %% (Baseline)",
-		func(r *pmm.Results) string { return pct(r.AvgDiskUtil) })
+		func(p *pmm.PointResult) string { return cellPct(p.Agg.AvgDiskUtil) })
 	fig4.Notes = append(fig4.Notes, "paper: Max stays flat (~15%), others rise toward ~45%")
 	fig5 := metricReport("fig5", "Observed MPL (Baseline)",
-		func(r *pmm.Results) string { return f2(r.AvgMPL) })
+		func(p *pmm.PointResult) string { return cellF2(p.Agg.AvgMPL) })
 	fig5.Notes = append(fig5.Notes, "paper: Max < 2; MinMax and Proportional grow with load")
 	fig7 := metricReport("fig7", "Memory Fluctuations per Query (Baseline)",
-		func(r *pmm.Results) string { return f2(r.AvgFluctuations) })
+		func(p *pmm.PointResult) string { return cellF2(p.Agg.AvgFluctuations) })
 	fig7.Notes = append(fig7.Notes, "paper: Proportional by far the most; Max near zero")
 
 	table7 := &Report{
@@ -91,15 +82,15 @@ func Baseline(o Options) ([]*Report, error) {
 		}()...),
 	}
 	for _, pol := range pols {
-		name := (pmm.Config{Policy: pol}).PolicyName()
+		name := policyLabel(pol)
 		rows := [][]string{
 			{name, "waiting"}, {name, "execution"}, {name, "total"},
 		}
 		for _, rate := range rates {
-			r := get(rate, pol)
-			rows[0] = append(rows[0], f1(r.AvgWait))
-			rows[1] = append(rows[1], f1(r.AvgExec))
-			rows[2] = append(rows[2], f1(r.AvgResponse))
+			p := get(rate, pol)
+			rows[0] = append(rows[0], cellF1(p.Agg.AvgWait))
+			rows[1] = append(rows[1], cellF1(p.Agg.AvgExec))
+			rows[2] = append(rows[2], cellF1(p.Agg.AvgResponse))
 		}
 		table7.Rows = append(table7.Rows, rows...)
 	}
@@ -110,17 +101,18 @@ func Baseline(o Options) ([]*Report, error) {
 }
 
 // PMMTraceBaseline reproduces Figure 6: PMM's target-MPL trace over the
-// first ten hours of the baseline at λ = 0.075.
+// first ten hours of the baseline at λ = 0.075. The trace is rendered
+// from replicate 0 (the run at the base seed).
 func PMMTraceBaseline(o Options) ([]*Report, error) {
-	cfg := pmm.BaselineConfig()
-	cfg.Seed = o.Seed
-	cfg.Duration = o.horizon(36000)
-	cfg.Classes[0].ArrivalRate = 0.075
-	cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyPMM}
-	res, err := pmm.Run(cfg)
+	base := pmm.BaselineConfig()
+	base.Duration = o.horizon(36000)
+	base.Classes[0].ArrivalRate = 0.075
+	base.Policy = pmm.PolicyConfig{Kind: pmm.PolicyPMM}
+	points, err := o.sweep(base)
 	if err != nil {
 		return nil, err
 	}
+	res := points[0].First()
 	rep := &Report{
 		ID:     "fig6",
 		Title:  "PMM Target MPL Trace (Baseline, λ=0.075)",

@@ -9,28 +9,22 @@ import (
 // WorkloadChanges reproduces §5.3 (Figures 12–15): the workload
 // alternates between Medium and Small join classes; each algorithm's
 // miss ratio is reported per interval, and PMM's trace shows it
-// detecting the changes and re-adapting.
+// detecting the changes and re-adapting. Interval rows and the trace
+// come from replicate 0; the per-class totals aggregate all replicates.
 func WorkloadChanges(o Options) ([]*Report, error) {
 	pols := []pmm.PolicyConfig{
 		{Kind: pmm.PolicyMax},
 		{Kind: pmm.PolicyMinMax},
 		{Kind: pmm.PolicyPMM},
 	}
-	var specs []runSpec
 	base := pmm.WorkloadChangeConfig()
-	for _, pol := range pols {
-		cfg := base
-		cfg.Seed = o.Seed
-		if o.Quick {
-			cfg.Duration = 25200 // first three intervals
-		}
-		if o.Horizon > 0 {
-			cfg.Duration = o.Horizon
-		}
-		cfg.Policy = pol
-		specs = append(specs, runSpec{key: (pmm.Config{Policy: pol}).PolicyName(), cfg: cfg})
+	if o.Quick {
+		base.Duration = 25200 // first three intervals
 	}
-	res, err := runAll(specs)
+	if o.Horizon > 0 {
+		base.Duration = o.Horizon
+	}
+	points, err := o.sweep(base, policyAxis(pols))
 	if err != nil {
 		return nil, err
 	}
@@ -54,8 +48,9 @@ func WorkloadChanges(o Options) ([]*Report, error) {
 	ids := []string{"fig12", "fig13", "fig14"}
 	var out []*Report
 	for pi, pol := range pols {
-		name := (pmm.Config{Policy: pol}).PolicyName()
-		r := res[name]
+		name := policyLabel(pol)
+		p := pmm.FindPoint(points, "policy", name)
+		r := p.First()
 		rep := &Report{
 			ID:     ids[pi],
 			Title:  fmt.Sprintf("%s Miss Ratio per Interval (Workload Changes)", name),
@@ -73,9 +68,9 @@ func WorkloadChanges(o Options) ([]*Report, error) {
 				pct(ratio),
 			})
 		}
-		for _, c := range r.PerClass {
+		for _, c := range p.Agg.PerClass {
 			rep.Rows = append(rep.Rows, []string{
-				"all:" + c.Name, "-", fmt.Sprintf("%d", c.Terminated), pct(c.MissRatio),
+				"all:" + c.Name, "-", cellCount(c.Terminated), cellPct(c.MissRatio),
 			})
 		}
 		out = append(out, rep)
@@ -85,12 +80,14 @@ func WorkloadChanges(o Options) ([]*Report, error) {
 	out[2].Notes = append(out[2].Notes, "paper: PMM matches Max on Small and beats both on Medium (≈15%)")
 
 	// Figure 15: PMM trace across the changes.
+	pmmPoint := pmm.FindPoint(points, "policy", "PMM")
+	pmmRes := pmmPoint.First()
 	trace := &Report{
 		ID:     "fig15",
 		Title:  "PMM Trace (Workload Changes)",
 		Header: []string{"time s", "mode", "target MPL", "realized MPL", "batch miss %", "restart"},
 	}
-	for _, pt := range res["PMM"].PMMTrace {
+	for _, pt := range pmmRes.PMMTrace {
 		target := fmt.Sprintf("%d", pt.Target)
 		if pt.Target == 0 {
 			target = "∞"
@@ -105,7 +102,7 @@ func WorkloadChanges(o Options) ([]*Report, error) {
 		})
 	}
 	trace.Notes = append(trace.Notes,
-		fmt.Sprintf("PMM restarted %d times; paper: one reset per workload switch, then quick re-adaptation", res["PMM"].PMMRestarts))
+		fmt.Sprintf("PMM restarted %d times; paper: one reset per workload switch, then quick re-adaptation", pmmRes.PMMRestarts))
 	out = append(out, trace)
 	return out, nil
 }
@@ -114,18 +111,17 @@ func WorkloadChanges(o Options) ([]*Report, error) {
 // from 0.50 to 0.80 at a loaded baseline operating point.
 func UtilLowSensitivity(o Options) ([]*Report, error) {
 	lows := []float64{0.50, 0.60, 0.70, 0.80}
-	var specs []runSpec
-	for _, lo := range lows {
-		cfg := pmm.BaselineConfig()
-		cfg.Seed = o.Seed
-		cfg.Duration = o.horizon(36000)
-		cfg.Classes[0].ArrivalRate = 0.06
-		p := pmm.DefaultPMMConfig()
-		p.UtilLow = lo
-		cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyPMM, PMM: p}
-		specs = append(specs, runSpec{key: fmt.Sprintf("%.2f", lo), cfg: cfg})
-	}
-	res, err := runAll(specs)
+	base := pmm.BaselineConfig()
+	base.Duration = o.horizon(36000)
+	base.Classes[0].ArrivalRate = 0.06
+	utilAxis := pmm.SweepAxis("utilLow", lows,
+		func(lo float64) string { return fmt.Sprintf("%.2f", lo) },
+		func(c *pmm.Config, lo float64) {
+			p := pmm.DefaultPMMConfig()
+			p.UtilLow = lo
+			c.Policy = pmm.PolicyConfig{Kind: pmm.PolicyPMM, PMM: p}
+		})
+	points, err := o.sweep(base, utilAxis)
 	if err != nil {
 		return nil, err
 	}
@@ -135,8 +131,8 @@ func UtilLowSensitivity(o Options) ([]*Report, error) {
 		Header: []string{"UtilLow", "miss %", "MPL"},
 	}
 	for _, lo := range lows {
-		r := res[fmt.Sprintf("%.2f", lo)]
-		rep.Rows = append(rep.Rows, []string{fmt.Sprintf("%.2f", lo), pct(r.MissRatio), f2(r.AvgMPL)})
+		p := pmm.FindPoint(points, "utilLow", fmt.Sprintf("%.2f", lo))
+		rep.Rows = append(rep.Rows, []string{fmt.Sprintf("%.2f", lo), cellPct(p.Agg.MissRatio), cellF2(p.Agg.AvgMPL)})
 	}
 	rep.Notes = append(rep.Notes, "paper: approximately the same performance across the range — the default 0.70 suffices")
 	return []*Report{rep}, nil

@@ -22,29 +22,20 @@ func contentionPolicies() []pmm.PolicyConfig {
 func DiskContention(o Options) ([]*Report, error) {
 	rates := o.baselineRates()
 	pols := contentionPolicies()
-	var specs []runSpec
-	for _, rate := range rates {
-		for _, pol := range pols {
-			cfg := pmm.DiskContentionConfig()
-			cfg.Seed = o.Seed
-			cfg.Duration = o.horizon(36000)
-			cfg.Classes[0].ArrivalRate = rate
-			cfg.Policy = pol
-			specs = append(specs, runSpec{key: fmt.Sprintf("%g/%d/%d", rate, pol.Kind, pol.MPLLimit), cfg: cfg})
-		}
-	}
-	res, err := runAll(specs)
+	base := pmm.DiskContentionConfig()
+	base.Duration = o.horizon(36000)
+	points, err := o.sweep(base, rateAxis(rates), policyAxis(pols))
 	if err != nil {
 		return nil, err
 	}
-	get := func(rate float64, pol pmm.PolicyConfig) *pmm.Results {
-		return res[fmt.Sprintf("%g/%d/%d", rate, pol.Kind, pol.MPLLimit)]
+	get := func(rate float64, pol pmm.PolicyConfig) *pmm.PointResult {
+		return pmm.FindPoint(points, "rate", gLabel(rate), "policy", policyLabel(pol))
 	}
 	header := []string{"arrival rate"}
 	for _, pol := range pols {
-		header = append(header, (pmm.Config{Policy: pol}).PolicyName())
+		header = append(header, policyLabel(pol))
 	}
-	metricReport := func(id, title string, metric func(*pmm.Results) string) *Report {
+	metricReport := func(id, title string, metric func(*pmm.PointResult) string) *Report {
 		rep := &Report{ID: id, Title: title, Header: header}
 		for _, rate := range rates {
 			row := []string{fmt.Sprintf("%.2f", rate)}
@@ -56,44 +47,37 @@ func DiskContention(o Options) ([]*Report, error) {
 		return rep
 	}
 	fig8 := metricReport("fig8", "Miss Ratio %% (Disk Contention, 6 disks)",
-		func(r *pmm.Results) string { return pct(r.MissRatio) })
+		func(p *pmm.PointResult) string { return cellPct(p.Agg.MissRatio) })
 	fig8.Notes = append(fig8.Notes, "paper: unrestrained MinMax thrashes; PMM tracks MinMax-10 within ~2%")
 	fig9 := metricReport("fig9", "Avg Disk Utilization %% (Disk Contention)",
-		func(r *pmm.Results) string { return pct(r.AvgDiskUtil) })
+		func(p *pmm.PointResult) string { return cellPct(p.Agg.AvgDiskUtil) })
 	fig9.Notes = append(fig9.Notes, "paper: MinMax exceeds 70% under heavy load; Max stays flat")
 	fig10 := metricReport("fig10", "Observed MPL (Disk Contention)",
-		func(r *pmm.Results) string { return f2(r.AvgMPL) })
+		func(p *pmm.PointResult) string { return cellF2(p.Agg.AvgMPL) })
 	fig10.Notes = append(fig10.Notes, "paper: PMM's MPL stays close to MinMax-10's")
 	return []*Report{fig8, fig9, fig10}, nil
 }
 
 // MinMaxNSweep reproduces Figure 11: the miss ratio of MinMax-N as a
 // function of N at λ = 0.07 on the 6-disk configuration, covering the
-// spectrum from Max-like (small N) to unrestrained MinMax (large N).
+// spectrum from Max-like (small N) to unrestrained MinMax (large N),
+// plus Max and PMM reference points at the same operating point — all
+// one policy axis of a single sweep.
 func MinMaxNSweep(o Options) ([]*Report, error) {
 	ns := []int{1, 2, 3, 5, 8, 10, 15, 20}
 	if o.Quick {
 		ns = []int{1, 3, 5, 10, 20}
 	}
-	var specs []runSpec
+	var pols []pmm.PolicyConfig
 	for _, n := range ns {
-		cfg := pmm.DiskContentionConfig()
-		cfg.Seed = o.Seed
-		cfg.Duration = o.horizon(36000)
-		cfg.Classes[0].ArrivalRate = 0.07
-		cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyMinMax, MPLLimit: n}
-		specs = append(specs, runSpec{key: fmt.Sprintf("%d", n), cfg: cfg})
+		pols = append(pols, pmm.PolicyConfig{Kind: pmm.PolicyMinMax, MPLLimit: n})
 	}
-	// Reference points: Max and PMM at the same operating point.
-	for _, pol := range []pmm.PolicyConfig{{Kind: pmm.PolicyMax}, {Kind: pmm.PolicyPMM}} {
-		cfg := pmm.DiskContentionConfig()
-		cfg.Seed = o.Seed
-		cfg.Duration = o.horizon(36000)
-		cfg.Classes[0].ArrivalRate = 0.07
-		cfg.Policy = pol
-		specs = append(specs, runSpec{key: (pmm.Config{Policy: pol}).PolicyName(), cfg: cfg})
-	}
-	res, err := runAll(specs)
+	pols = append(pols, pmm.PolicyConfig{Kind: pmm.PolicyMax}, pmm.PolicyConfig{Kind: pmm.PolicyPMM})
+
+	base := pmm.DiskContentionConfig()
+	base.Duration = o.horizon(36000)
+	base.Classes[0].ArrivalRate = 0.07
+	points, err := o.sweep(base, policyAxis(pols))
 	if err != nil {
 		return nil, err
 	}
@@ -102,15 +86,15 @@ func MinMaxNSweep(o Options) ([]*Report, error) {
 		Title:  "MinMax-N Miss Ratio %% vs N (6 disks, λ=0.07)",
 		Header: []string{"N", "miss %", "MPL", "disk util %"},
 	}
+	row := func(label string, p *pmm.PointResult) []string {
+		return []string{label, cellPct(p.Agg.MissRatio), cellF2(p.Agg.AvgMPL), cellPct(p.Agg.AvgDiskUtil)}
+	}
 	for _, n := range ns {
-		r := res[fmt.Sprintf("%d", n)]
-		rep.Rows = append(rep.Rows, []string{
-			fmt.Sprintf("%d", n), pct(r.MissRatio), f2(r.AvgMPL), pct(r.AvgDiskUtil),
-		})
+		p := pmm.FindPoint(points, "policy", fmt.Sprintf("MinMax-%d", n))
+		rep.Rows = append(rep.Rows, row(fmt.Sprintf("%d", n), p))
 	}
 	for _, name := range []string{"Max", "PMM"} {
-		r := res[name]
-		rep.Rows = append(rep.Rows, []string{name, pct(r.MissRatio), f2(r.AvgMPL), pct(r.AvgDiskUtil)})
+		rep.Rows = append(rep.Rows, row(name, pmm.FindPoint(points, "policy", name)))
 	}
 	rep.Notes = append(rep.Notes,
 		"paper: concave in N with the optimum at an interior N (10 on the authors' testbed); PMM lands near the optimum")

@@ -1,30 +1,37 @@
 // Package exp defines the reproduction experiments: one driver per
 // figure and table of the paper's evaluation (§5), mapped in DESIGN.md's
-// per-experiment index. Drivers assemble configurations from the public
-// presets, run them (in parallel across CPUs; each simulation itself is
-// deterministic and single-threaded), and render plain-text tables whose
-// rows correspond to the points of the original figures.
+// per-experiment index. Each driver is a declarative description of a
+// parameter sweep — a preset base configuration plus axes (policy,
+// arrival rate, scale, …) — executed by the pmm.Sweep engine, which
+// runs every point × replicate in parallel with deterministic seeds and
+// aggregates replicates into mean ± CI. Drivers then render plain-text
+// tables whose rows correspond to the points of the original figures;
+// with Options.Reps > 1 the cells carry confidence half-widths.
 package exp
 
 import (
 	"fmt"
-	"runtime"
-	"sort"
 	"strings"
-	"sync"
 
 	"pmm"
 )
 
 // Options controls experiment scale.
 type Options struct {
-	// Seed drives all random streams.
+	// Seed drives all random streams; replicate r of every simulation
+	// runs at pmm.ReplicateSeed(Seed, r).
 	Seed int64
 	// Quick shrinks horizons and grids for smoke runs and benchmarks.
 	Quick bool
 	// Horizon, when positive, overrides the simulated duration of every
 	// run (tests use very small values).
 	Horizon float64
+	// Reps is the number of replicates per sweep point (default 1).
+	// With more than one, tables report mean ± CI cells.
+	Reps int
+	// Workers bounds concurrent simulations (default GOMAXPROCS). It
+	// never affects results, only wall-clock time.
+	Workers int
 }
 
 // horizon returns the simulated duration to use.
@@ -36,6 +43,39 @@ func (o Options) horizon(full float64) float64 {
 		return full / 6
 	}
 	return full
+}
+
+// sweep executes base (seeded from the options) across the axes on the
+// shared replicated-sweep engine.
+func (o Options) sweep(base pmm.Config, axes ...pmm.Axis) ([]pmm.PointResult, error) {
+	base.Seed = o.Seed
+	return pmm.Sweep(pmm.SweepSpec{
+		Base:    base,
+		Axes:    axes,
+		Reps:    o.Reps,
+		Workers: o.Workers,
+	})
+}
+
+// gLabel renders a float axis value as its %g label. Axis construction
+// and FindPoint lookups must share this helper, or lookups return nil.
+func gLabel(x float64) string { return fmt.Sprintf("%g", x) }
+
+// rateAxis sweeps the first class's arrival rate.
+func rateAxis(rates []float64) pmm.Axis {
+	return pmm.SweepAxis("rate", rates, gLabel,
+		func(c *pmm.Config, r float64) { c.Classes[0].ArrivalRate = r })
+}
+
+// policyLabel renders a policy as an axis label (its display name).
+func policyLabel(pol pmm.PolicyConfig) string {
+	return (pmm.Config{Policy: pol}).PolicyName()
+}
+
+// policyAxis sweeps the allocation policy.
+func policyAxis(pols []pmm.PolicyConfig) pmm.Axis {
+	return pmm.SweepAxis("policy", pols, policyLabel,
+		func(c *pmm.Config, p pmm.PolicyConfig) { c.Policy = p })
 }
 
 // Report is one rendered table, corresponding to one figure or table.
@@ -81,40 +121,6 @@ func (r *Report) Render() string {
 	return b.String()
 }
 
-// runSpec names one simulation to execute.
-type runSpec struct {
-	key string
-	cfg pmm.Config
-}
-
-// runAll executes the specs concurrently (one goroutine per CPU) and
-// returns results by key. Each simulation is independent and internally
-// deterministic, so the map contents do not depend on scheduling.
-func runAll(specs []runSpec) (map[string]*pmm.Results, error) {
-	results := make(map[string]*pmm.Results, len(specs))
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for _, sp := range specs {
-		sp := sp
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem; wg.Done() }()
-			res, err := pmm.Run(sp.cfg)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("run %s: %w", sp.key, err)
-			}
-			results[sp.key] = res
-		}()
-	}
-	wg.Wait()
-	return results, firstErr
-}
-
 // pct renders a ratio as a percentage with one decimal.
 func pct(x float64) string { return fmt.Sprintf("%.1f", 100*x) }
 
@@ -124,14 +130,40 @@ func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
 // f2 renders a float with two decimals.
 func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
 
-// sortedKeys returns map keys in sorted order (deterministic output).
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// Cell formatters: single-replicate stats render exactly like the bare
+// value (so reps=1 tables are byte-identical to unreplicated runs);
+// replicated stats append the confidence half-width.
+
+// cellPct renders a ratio stat as a percentage.
+func cellPct(s pmm.Stat) string {
+	if s.N > 1 {
+		return fmt.Sprintf("%.1f±%.1f", 100*s.Mean, 100*s.HalfWidth)
 	}
-	sort.Strings(keys)
-	return keys
+	return pct(s.Mean)
+}
+
+// cellF1 renders a stat with one decimal.
+func cellF1(s pmm.Stat) string {
+	if s.N > 1 {
+		return fmt.Sprintf("%.1f±%.1f", s.Mean, s.HalfWidth)
+	}
+	return f1(s.Mean)
+}
+
+// cellF2 renders a stat with two decimals.
+func cellF2(s pmm.Stat) string {
+	if s.N > 1 {
+		return fmt.Sprintf("%.2f±%.2f", s.Mean, s.HalfWidth)
+	}
+	return f2(s.Mean)
+}
+
+// cellCount renders an integer-valued stat (e.g. terminated queries).
+func cellCount(s pmm.Stat) string {
+	if s.N > 1 {
+		return fmt.Sprintf("%.0f±%.0f", s.Mean, s.HalfWidth)
+	}
+	return fmt.Sprintf("%.0f", s.Mean)
 }
 
 // All runs every experiment and returns the reports in paper order.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -102,6 +103,58 @@ func TestRunAllParallelDeterministic(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatalf("parallel runs diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestDriversDeterministicAcrossWorkers pins the sweep-engine guarantee
+// at the driver level: a replicated experiment renders byte-identically
+// whether the engine runs serially or on every CPU.
+func TestDriversDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed driver")
+	}
+	render := func(workers int) string {
+		reports, err := Baseline(Options{Seed: 5, Quick: true, Horizon: 600, Reps: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, r := range reports {
+			b.WriteString(r.Render())
+		}
+		return b.String()
+	}
+	serial := render(1)
+	parallel := render(runtime.NumCPU())
+	if serial != parallel {
+		t.Fatalf("reports diverge across worker counts:\n%s\nvs\n%s", serial, parallel)
+	}
+	// Replicated cells must actually carry confidence half-widths.
+	if !strings.Contains(serial, "±") {
+		t.Fatalf("reps=2 report lacks ± cells:\n%s", serial)
+	}
+}
+
+// TestReplicationDefaultsMatchSingleRun guards the refactor: at the
+// default Reps (1), a driver's report must equal the report produced by
+// an explicit 1-replicate run — the seed drivers' exact output.
+func TestReplicationDefaultsMatchSingleRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed driver")
+	}
+	a, err := UtilLowSensitivity(Options{Seed: 3, Horizon: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UtilLowSensitivity(Options{Seed: 3, Horizon: 600, Reps: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra, rb := a[0].Render(), b[0].Render(); ra != rb {
+		t.Fatalf("default options diverge from explicit 1-rep/1-worker:\n%s\nvs\n%s", ra, rb)
+	}
+	if strings.Contains(a[0].Render(), "±") {
+		t.Fatal("unreplicated report must not carry ± cells")
 	}
 }
 

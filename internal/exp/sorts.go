@@ -16,31 +16,22 @@ func ExternalSorts(o Options) ([]*Report, error) {
 		rates = []float64{0.04, 0.08, 0.12}
 	}
 	pols := baselinePolicies()
-	var specs []runSpec
-	for _, rate := range rates {
-		for _, pol := range pols {
-			cfg := pmm.ExternalSortConfig()
-			cfg.Seed = o.Seed
-			cfg.Duration = o.horizon(36000)
-			cfg.Classes[0].ArrivalRate = rate
-			cfg.Policy = pol
-			specs = append(specs, runSpec{key: fmt.Sprintf("%g/%d/%d", rate, pol.Kind, pol.MPLLimit), cfg: cfg})
-		}
-	}
-	res, err := runAll(specs)
+	base := pmm.ExternalSortConfig()
+	base.Duration = o.horizon(36000)
+	points, err := o.sweep(base, rateAxis(rates), policyAxis(pols))
 	if err != nil {
 		return nil, err
 	}
 	header := []string{"arrival rate"}
 	for _, pol := range pols {
-		header = append(header, (pmm.Config{Policy: pol}).PolicyName())
+		header = append(header, policyLabel(pol))
 	}
 	rep := &Report{ID: "fig16", Title: "Miss Ratio %% (External Sorts)", Header: header}
 	for _, rate := range rates {
 		row := []string{fmt.Sprintf("%.2f", rate)}
 		for _, pol := range pols {
-			r := res[fmt.Sprintf("%g/%d/%d", rate, pol.Kind, pol.MPLLimit)]
-			row = append(row, pct(r.MissRatio))
+			p := pmm.FindPoint(points, "rate", gLabel(rate), "policy", policyLabel(pol))
+			row = append(row, cellPct(p.Agg.MissRatio))
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -62,29 +53,26 @@ func Multiclass(o Options) ([]*Report, error) {
 		{Kind: pmm.PolicyPMM},
 		{Kind: pmm.PolicyFairPMM}, // the §5.6 future-work extension
 	}
-	var specs []runSpec
-	for _, sr := range smallRates {
-		for _, pol := range pols {
-			cfg := pmm.MulticlassConfig(sr)
-			cfg.Seed = o.Seed
-			cfg.Duration = o.horizon(36000)
-			cfg.Policy = pol
-			specs = append(specs, runSpec{key: fmt.Sprintf("%g/%d", sr, pol.Kind), cfg: cfg})
-		}
-	}
-	res, err := runAll(specs)
+	smallAxis := pmm.SweepAxis("small", smallRates, gLabel,
+		func(c *pmm.Config, sr float64) { c.Classes[1].ArrivalRate = sr })
+	base := pmm.MulticlassConfig(0)
+	base.Duration = o.horizon(36000)
+	points, err := o.sweep(base, smallAxis, policyAxis(pols))
 	if err != nil {
 		return nil, err
 	}
+	get := func(sr float64, pol pmm.PolicyConfig) *pmm.PointResult {
+		return pmm.FindPoint(points, "small", gLabel(sr), "policy", policyLabel(pol))
+	}
 	header := []string{"small rate"}
 	for _, pol := range pols {
-		header = append(header, (pmm.Config{Policy: pol}).PolicyName())
+		header = append(header, policyLabel(pol))
 	}
 	fig17 := &Report{ID: "fig17", Title: "System Miss Ratio %% (Multiclass)", Header: header}
 	for _, sr := range smallRates {
 		row := []string{fmt.Sprintf("%.1f", sr)}
 		for _, pol := range pols {
-			row = append(row, pct(res[fmt.Sprintf("%g/%d", sr, pol.Kind)].MissRatio))
+			row = append(row, cellPct(get(sr, pol).Agg.MissRatio))
 		}
 		fig17.Rows = append(fig17.Rows, row)
 	}
@@ -97,11 +85,11 @@ func Multiclass(o Options) ([]*Report, error) {
 		Header: []string{"small rate", "Medium", "Small"},
 	}
 	for _, sr := range smallRates {
-		r := res[fmt.Sprintf("%g/%d", sr, pmm.PolicyPMM)]
+		p := get(sr, pmm.PolicyConfig{Kind: pmm.PolicyPMM})
 		fig18.Rows = append(fig18.Rows, []string{
 			fmt.Sprintf("%.1f", sr),
-			pct(r.ClassMissRatio("Medium")),
-			pct(r.ClassMissRatio("Small")),
+			cellPct(p.Agg.Class("Medium").MissRatio),
+			cellPct(p.Agg.Class("Small").MissRatio),
 		})
 	}
 	fig18.Notes = append(fig18.Notes,
@@ -116,14 +104,14 @@ func Multiclass(o Options) ([]*Report, error) {
 		Header: []string{"small rate", "PMM Med%", "PMM Small%", "PMM fair", "Fair Med%", "Fair Small%", "Fair fair"},
 	}
 	for _, sr := range smallRates {
-		p := res[fmt.Sprintf("%g/%d", sr, pmm.PolicyPMM)]
-		fp := res[fmt.Sprintf("%g/%d", sr, pmm.PolicyFairPMM)]
+		p := get(sr, pmm.PolicyConfig{Kind: pmm.PolicyPMM})
+		fp := get(sr, pmm.PolicyConfig{Kind: pmm.PolicyFairPMM})
 		ext.Rows = append(ext.Rows, []string{
 			fmt.Sprintf("%.1f", sr),
-			pct(p.ClassMissRatio("Medium")), pct(p.ClassMissRatio("Small")),
-			f2(jain(p)), // plain PMM
-			pct(fp.ClassMissRatio("Medium")), pct(fp.ClassMissRatio("Small")),
-			f2(jain(fp)),
+			cellPct(p.Agg.Class("Medium").MissRatio), cellPct(p.Agg.Class("Small").MissRatio),
+			f2(jain(p.Agg)), // plain PMM
+			cellPct(fp.Agg.Class("Medium").MissRatio), cellPct(fp.Agg.Class("Small").MissRatio),
+			f2(jain(fp.Agg)),
 		})
 	}
 	ext.Notes = append(ext.Notes,
@@ -131,11 +119,12 @@ func Multiclass(o Options) ([]*Report, error) {
 	return []*Report{fig17, fig18, ext}, nil
 }
 
-// jain computes Jain's fairness index over a run's class miss ratios.
-func jain(r *pmm.Results) float64 {
+// jain computes Jain's fairness index over a point's aggregated class
+// miss ratios — the same means the neighbouring table cells report.
+func jain(agg pmm.Summary) float64 {
 	var ratios []float64
-	for _, c := range r.PerClass {
-		ratios = append(ratios, c.MissRatio)
+	for _, c := range agg.PerClass {
+		ratios = append(ratios, c.MissRatio.Mean)
 	}
 	return core.FairnessIndex(ratios, nil)
 }
@@ -153,18 +142,18 @@ func Scalability(o Options) ([]*Report, error) {
 		{Kind: pmm.PolicyMinMax},
 		{Kind: pmm.PolicyPMM},
 	}
-	var specs []runSpec
-	for _, k := range scales {
-		for _, pol := range pols {
-			cfg := pmm.ScaledConfig(k)
-			cfg.Seed = o.Seed
-			cfg.Duration = o.horizon(36000)
-			cfg.Classes[0].ArrivalRate = 0.06 / k
-			cfg.Policy = pol
-			specs = append(specs, runSpec{key: fmt.Sprintf("%g/%d", k, pol.Kind), cfg: cfg})
-		}
-	}
-	res, err := runAll(specs)
+	// The scale axis rebuilds the whole preset, so it must preserve the
+	// knobs the sweep helper and options already set on the base.
+	scaleAxis := pmm.SweepAxis("scale", scales, gLabel,
+		func(c *pmm.Config, k float64) {
+			seed, dur := c.Seed, c.Duration
+			*c = pmm.ScaledConfig(k)
+			c.Seed, c.Duration = seed, dur
+			c.Classes[0].ArrivalRate = 0.06 / k
+		})
+	base := pmm.DiskContentionConfig()
+	base.Duration = o.horizon(36000)
+	points, err := o.sweep(base, scaleAxis, policyAxis(pols))
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +165,8 @@ func Scalability(o Options) ([]*Report, error) {
 	for _, k := range scales {
 		row := []string{fmt.Sprintf("%.1f", k)}
 		for _, pol := range pols {
-			row = append(row, pct(res[fmt.Sprintf("%g/%d", k, pol.Kind)].MissRatio))
+			p := pmm.FindPoint(points, "scale", gLabel(k), "policy", policyLabel(pol))
+			row = append(row, cellPct(p.Agg.MissRatio))
 		}
 		rep.Rows = append(rep.Rows, row)
 	}

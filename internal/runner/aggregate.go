@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"math"
+
+	"pmm/internal/rtdbs"
+	"pmm/internal/stats"
+)
+
+// Stat summarizes one metric across replicates: the sample mean and
+// standard deviation plus the half-width of a normal-theory confidence
+// interval (zero with fewer than two replicates, matching the repo's
+// BatchMeans convention).
+type Stat struct {
+	N         int     `json:"n"`
+	Mean      float64 `json:"mean"`
+	SD        float64 `json:"sd,omitempty"`
+	HalfWidth float64 `json:"halfWidth,omitempty"`
+}
+
+// statOf folds per-replicate observations into a Stat.
+func statOf(obs []float64, confidence float64) Stat {
+	var w stats.Welford
+	for _, x := range obs {
+		w.Add(x)
+	}
+	s := Stat{N: w.N(), Mean: w.Mean(), SD: w.SD()}
+	if w.N() >= 2 && s.SD > 0 {
+		z := stats.NormalQuantile(1 - (1-confidence)/2)
+		s.HalfWidth = z * s.SD / math.Sqrt(float64(w.N()))
+	}
+	return s
+}
+
+// ClassStat summarizes one workload class across replicates.
+type ClassStat struct {
+	Name       string `json:"name"`
+	Terminated Stat   `json:"terminated"`
+	MissRatio  Stat   `json:"missRatio"`
+}
+
+// Summary aggregates a point's replicates: every headline metric of
+// rtdbs.Results as mean ± CI across the replicate runs.
+type Summary struct {
+	Reps       int     `json:"reps"`
+	Confidence float64 `json:"confidence"`
+
+	MissRatio          Stat `json:"missRatio"`
+	AvgWait            Stat `json:"avgWait"`
+	AvgExec            Stat `json:"avgExec"`
+	AvgResponse        Stat `json:"avgResponse"`
+	AvgMPL             Stat `json:"avgMPL"`
+	AvgDiskUtil        Stat `json:"avgDiskUtil"`
+	MaxDiskUtil        Stat `json:"maxDiskUtil"`
+	CPUUtil            Stat `json:"cpuUtil"`
+	AvgFluctuations    Stat `json:"avgFluctuations"`
+	AvgIOAmplification Stat `json:"avgIOAmplification"`
+	Terminated         Stat `json:"terminated"`
+
+	PerClass []ClassStat `json:"perClass,omitempty"`
+}
+
+// Summarize aggregates replicate results at the given confidence level.
+// With a single replicate every mean equals the run's value exactly and
+// all half-widths are zero.
+func Summarize(runs []*rtdbs.Results, confidence float64) Summary {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	sum := Summary{Reps: len(runs), Confidence: confidence}
+	if len(runs) == 0 {
+		return sum
+	}
+	collect := func(get func(*rtdbs.Results) float64) Stat {
+		obs := make([]float64, len(runs))
+		for i, r := range runs {
+			obs[i] = get(r)
+		}
+		return statOf(obs, confidence)
+	}
+	sum.MissRatio = collect(func(r *rtdbs.Results) float64 { return r.MissRatio })
+	sum.AvgWait = collect(func(r *rtdbs.Results) float64 { return r.AvgWait })
+	sum.AvgExec = collect(func(r *rtdbs.Results) float64 { return r.AvgExec })
+	sum.AvgResponse = collect(func(r *rtdbs.Results) float64 { return r.AvgResponse })
+	sum.AvgMPL = collect(func(r *rtdbs.Results) float64 { return r.AvgMPL })
+	sum.AvgDiskUtil = collect(func(r *rtdbs.Results) float64 { return r.AvgDiskUtil })
+	sum.MaxDiskUtil = collect(func(r *rtdbs.Results) float64 { return r.MaxDiskUtil })
+	sum.CPUUtil = collect(func(r *rtdbs.Results) float64 { return r.CPUUtil })
+	sum.AvgFluctuations = collect(func(r *rtdbs.Results) float64 { return r.AvgFluctuations })
+	sum.AvgIOAmplification = collect(func(r *rtdbs.Results) float64 { return r.AvgIOAmplification })
+	sum.Terminated = collect(func(r *rtdbs.Results) float64 { return float64(r.Terminated) })
+
+	// Classes are identical across replicates (same config), so index
+	// them off the first run.
+	for ci, c := range runs[0].PerClass {
+		cs := ClassStat{Name: c.Name}
+		cs.Terminated = collect(func(r *rtdbs.Results) float64 { return float64(r.PerClass[ci].Terminated) })
+		cs.MissRatio = collect(func(r *rtdbs.Results) float64 { return r.PerClass[ci].MissRatio })
+		sum.PerClass = append(sum.PerClass, cs)
+	}
+	return sum
+}
+
+// Class returns the named class summary, or a zero ClassStat.
+func (s *Summary) Class(name string) ClassStat {
+	for _, c := range s.PerClass {
+		if c.Name == name {
+			return c
+		}
+	}
+	return ClassStat{Name: name}
+}

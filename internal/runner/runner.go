@@ -1,0 +1,278 @@
+// Package runner is the replicated-sweep engine behind the repo's
+// experiments: it expands a base configuration across declarative axes
+// into a grid of simulation points, runs every (point, replicate) pair
+// on a bounded worker pool with deterministic per-replicate seeds, and
+// aggregates each point's replicates into mean ± confidence-interval
+// summaries. The paper's evaluation (§5) is exactly such a grid —
+// policies × arrival rates × resources — and every experiment driver is
+// a thin declaration on top of this package.
+//
+// Determinism: the result of Run depends only on the Spec (base config,
+// axes, replication count), never on Workers or goroutine scheduling.
+// Each simulation is single-threaded and internally deterministic; the
+// engine assigns seeds from the point's base seed and the replicate
+// index alone and writes results into pre-indexed slots.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"pmm/internal/catalog"
+	"pmm/internal/rtdbs"
+	"pmm/internal/sim"
+	"pmm/internal/workload"
+)
+
+// Value is one setting of an axis: a display label plus the mutation it
+// applies to a configuration. Apply receives a private deep copy of the
+// config, so mutations never leak across points.
+type Value struct {
+	Label string
+	Apply func(*rtdbs.Config)
+}
+
+// Axis is one swept dimension, e.g. "rate" over five arrival rates or
+// "policy" over the Table 5 algorithms.
+type Axis struct {
+	Name   string
+	Values []Value
+}
+
+// AxisOf builds an axis from a slice of typed values, a label function,
+// and a setter applied to each point's config.
+func AxisOf[T any](name string, values []T, label func(T) string, apply func(*rtdbs.Config, T)) Axis {
+	ax := Axis{Name: name}
+	for _, v := range values {
+		v := v
+		ax.Values = append(ax.Values, Value{
+			Label: label(v),
+			Apply: func(c *rtdbs.Config) { apply(c, v) },
+		})
+	}
+	return ax
+}
+
+// Spec declares a sweep: a base configuration, the axes whose cross
+// product forms the grid, and how many replicates to run per point.
+type Spec struct {
+	// Base is the starting configuration of every point. Replicate 0
+	// of a point runs at the point's config seed (Base.Seed unless an
+	// axis overrides it); further replicates derive deterministically
+	// from it via ReplicateSeed.
+	Base rtdbs.Config
+	// Axes are applied in order; the grid is their cross product in
+	// row-major order (the first axis varies slowest). No axes means a
+	// single point.
+	Axes []Axis
+	// Reps is the number of replicates per point (default 1).
+	// Replicate r of a point runs at ReplicateSeed(point seed, r); as
+	// long as no axis touches Seed, replicates share seeds across
+	// points — common random numbers, which sharpens cross-point
+	// comparisons.
+	Reps int
+	// Workers bounds simultaneous simulations (default GOMAXPROCS).
+	// It affects wall-clock time only, never results.
+	Workers int
+	// Confidence is the level of the aggregate intervals (default 0.95).
+	Confidence float64
+}
+
+// withDefaults fills unset knobs.
+func (s Spec) withDefaults() Spec {
+	if s.Reps <= 0 {
+		s.Reps = 1
+	}
+	if s.Workers <= 0 {
+		s.Workers = runtime.GOMAXPROCS(0)
+	}
+	if s.Confidence <= 0 || s.Confidence >= 1 {
+		s.Confidence = 0.95
+	}
+	return s
+}
+
+// Point is one node of the sweep grid.
+type Point struct {
+	// Index is the point's position in row-major grid order.
+	Index int
+	// Key joins the axis labels ("0.06/PMM") for display.
+	Key string
+	// Labels maps axis name → value label, for lookup via Find.
+	Labels map[string]string
+	// Config is the fully mutated configuration (replicate 0's seed).
+	Config rtdbs.Config
+}
+
+// PointResult pairs a point with its replicate runs and their aggregate.
+type PointResult struct {
+	Point Point
+	// Reps holds the replicate results in replicate order; Reps[0] ran
+	// at the point's base seed.
+	Reps []*rtdbs.Results
+	// Agg summarizes the replicates (mean ± CI per metric).
+	Agg Summary
+}
+
+// First returns the replicate-0 results — the run whose seed equals the
+// base seed, used for per-run detail (traces, event series).
+func (p *PointResult) First() *rtdbs.Results { return p.Reps[0] }
+
+// replicateStream tags replicate-seed derivation so the engine's seed
+// stream cannot collide with the simulator's own child streams.
+const replicateStream = 0x52455053 // "REPS"
+
+// ReplicateSeed derives the seed of replicate rep from a base seed.
+// Replicate 0 uses the base seed unchanged, so a 1-replicate sweep
+// reproduces a plain Run of the same configuration bit for bit.
+func ReplicateSeed(base int64, rep int) int64 {
+	if rep == 0 {
+		return base
+	}
+	return sim.SplitSeed(base, replicateStream+uint64(rep))
+}
+
+// cloneConfig deep-copies the slice-valued parts of a configuration so
+// axis mutations on one point cannot alias another.
+func cloneConfig(c rtdbs.Config) rtdbs.Config {
+	c.Groups = append([]catalog.GroupSpec(nil), c.Groups...)
+	c.Classes = append([]workload.ClassSpec(nil), c.Classes...)
+	for i := range c.Classes {
+		c.Classes[i].RelGroups = append([]int(nil), c.Classes[i].RelGroups...)
+	}
+	c.Phases = append([]rtdbs.Phase(nil), c.Phases...)
+	for i := range c.Phases {
+		c.Phases[i].Rates = append([]float64(nil), c.Phases[i].Rates...)
+	}
+	c.Policy.Fairness.Weights = append([]float64(nil), c.Policy.Fairness.Weights...)
+	return c
+}
+
+// expand materializes the cross product of the axes.
+func (s Spec) expand() []Point {
+	points := []Point{{Labels: map[string]string{}, Config: cloneConfig(s.Base)}}
+	for _, ax := range s.Axes {
+		next := make([]Point, 0, len(points)*len(ax.Values))
+		for _, pt := range points {
+			for _, v := range ax.Values {
+				cfg := cloneConfig(pt.Config)
+				v.Apply(&cfg)
+				labels := make(map[string]string, len(pt.Labels)+1)
+				for k, lv := range pt.Labels {
+					labels[k] = lv
+				}
+				labels[ax.Name] = v.Label
+				key := v.Label
+				if pt.Key != "" {
+					key = pt.Key + "/" + v.Label
+				}
+				next = append(next, Point{Key: key, Labels: labels, Config: cfg})
+			}
+		}
+		points = next
+	}
+	for i := range points {
+		points[i].Index = i
+	}
+	return points
+}
+
+// Run executes the sweep: every point × replicate on a bounded worker
+// pool, then per-point aggregation. The returned slice is in row-major
+// grid order and is identical for any Workers value.
+func Run(s Spec) ([]PointResult, error) {
+	s = s.withDefaults()
+	points := s.expand()
+	results := make([]PointResult, len(points))
+	for i := range results {
+		results[i] = PointResult{Point: points[i], Reps: make([]*rtdbs.Results, s.Reps)}
+	}
+
+	type job struct{ point, rep int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < s.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cfg := cloneConfig(results[j.point].Point.Config)
+				// Seeds derive from the point's own config, so an axis
+				// may sweep Seed itself; points that leave it alone
+				// share replicate seeds (common random numbers).
+				cfg.Seed = ReplicateSeed(cfg.Seed, j.rep)
+				sys, err := rtdbs.New(cfg)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("runner: point %s rep %d: %w",
+							results[j.point].Point.Key, j.rep, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				// Each (point, rep) owns its slot: no lock needed.
+				results[j.point].Reps[j.rep] = sys.Run()
+			}
+		}()
+	}
+	for pi := range points {
+		for r := 0; r < s.Reps; r++ {
+			jobs <- job{pi, r}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for i := range results {
+		results[i].Agg = Summarize(results[i].Reps, s.Confidence)
+	}
+	return results, nil
+}
+
+// RunMany executes reps replicates of a single configuration (a sweep
+// with no axes) and returns the per-replicate results in order.
+func RunMany(cfg rtdbs.Config, reps, workers int) ([]*rtdbs.Results, error) {
+	points, err := Run(Spec{Base: cfg, Reps: reps, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return points[0].Reps, nil
+}
+
+// Find returns the first point whose labels match every name, label
+// pair, or nil when none does.
+func Find(points []PointResult, pairs ...string) *PointResult {
+	if len(pairs)%2 != 0 {
+		panic("runner: Find requires name, label pairs")
+	}
+	for i := range points {
+		ok := true
+		for j := 0; j < len(pairs); j += 2 {
+			if points[i].Point.Labels[pairs[j]] != pairs[j+1] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return &points[i]
+		}
+	}
+	return nil
+}
+
+// Keys lists the point keys in grid order (handy in error messages).
+func Keys(points []PointResult) string {
+	keys := make([]string, len(points))
+	for i := range points {
+		keys[i] = points[i].Point.Key
+	}
+	return strings.Join(keys, ", ")
+}

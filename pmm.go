@@ -29,6 +29,7 @@ import (
 	"pmm/internal/disk"
 	"pmm/internal/query"
 	"pmm/internal/rtdbs"
+	"pmm/internal/runner"
 	"pmm/internal/workload"
 )
 
@@ -69,6 +70,27 @@ type (
 	TracePoint = core.TracePoint
 )
 
+// Sweep-engine types, aliased from internal/runner: a declarative
+// parameter sweep with replication and mean ± CI aggregation.
+type (
+	// SweepSpec declares a sweep: base config, axes, replication.
+	SweepSpec = runner.Spec
+	// Axis is one swept dimension of a SweepSpec.
+	Axis = runner.Axis
+	// AxisValue is one setting of an Axis (label + config mutation).
+	AxisValue = runner.Value
+	// Point is one node of a sweep grid.
+	Point = runner.Point
+	// PointResult pairs a Point with its replicates and aggregate.
+	PointResult = runner.PointResult
+	// Summary aggregates one point's replicates (mean ± CI per metric).
+	Summary = runner.Summary
+	// Stat is one aggregated metric within a Summary.
+	Stat = runner.Stat
+	// ClassStat is one per-class aggregate within a Summary.
+	ClassStat = runner.ClassStat
+)
+
 // Allocation policies (paper Table 5).
 const (
 	// PolicyMax always uses the Max strategy.
@@ -102,6 +124,42 @@ func Run(cfg Config) (*Results, error) {
 	}
 	return sys.Run(), nil
 }
+
+// Sweep expands spec's axes into a grid of configurations, runs every
+// point × replicate on a bounded worker pool with deterministic
+// per-replicate seeds, and returns per-point results with mean ± CI
+// aggregates. The output depends only on the spec, never on the worker
+// count or scheduling; a 1-replicate point reproduces Run bit for bit.
+func Sweep(spec SweepSpec) ([]PointResult, error) { return runner.Run(spec) }
+
+// RunMany executes reps replicates of one configuration (replicate 0 at
+// cfg.Seed, the rest at seeds derived from it) across workers parallel
+// simulations, returning the per-replicate results in order.
+func RunMany(cfg Config, reps, workers int) ([]*Results, error) {
+	return runner.RunMany(cfg, reps, workers)
+}
+
+// Aggregate summarizes replicate results into mean ± CI statistics at
+// the given confidence level (0 defaults to 0.95).
+func Aggregate(runs []*Results, confidence float64) Summary {
+	return runner.Summarize(runs, confidence)
+}
+
+// SweepAxis builds an Axis from typed values, a label function, and a
+// setter applied to each point's private copy of the configuration.
+func SweepAxis[T any](name string, values []T, label func(T) string, apply func(*Config, T)) Axis {
+	return runner.AxisOf(name, values, label, apply)
+}
+
+// FindPoint returns the first sweep point whose labels match every
+// name, label pair, or nil when none does.
+func FindPoint(points []PointResult, pairs ...string) *PointResult {
+	return runner.Find(points, pairs...)
+}
+
+// ReplicateSeed derives the deterministic seed of replicate rep from a
+// base seed (rep 0 returns the base seed unchanged).
+func ReplicateSeed(base int64, rep int) int64 { return runner.ReplicateSeed(base, rep) }
 
 // DefaultDiskParams returns the paper's Table 3 disk configuration.
 func DefaultDiskParams() DiskParams { return disk.DefaultParams() }

@@ -6,23 +6,7 @@ import (
 	"pmm"
 )
 
-func TestPresetsAssemble(t *testing.T) {
-	presets := map[string]pmm.Config{
-		"baseline":   pmm.BaselineConfig(),
-		"contention": pmm.DiskContentionConfig(),
-		"changes":    pmm.WorkloadChangeConfig(),
-		"sorts":      pmm.ExternalSortConfig(),
-		"multiclass": pmm.MulticlassConfig(0.4),
-		"scaled-0.5": pmm.ScaledConfig(0.5),
-		"scaled-2":   pmm.ScaledConfig(2),
-	}
-	for name, cfg := range presets {
-		cfg.Duration = 1 // don't actually simulate anything
-		if _, err := pmm.New(cfg); err != nil {
-			t.Errorf("preset %s does not assemble: %v", name, err)
-		}
-	}
-}
+// Preset assembly and determinism coverage lives in presets_test.go.
 
 func TestRunBaselineEndToEnd(t *testing.T) {
 	cfg := pmm.BaselineConfig()
