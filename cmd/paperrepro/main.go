@@ -6,13 +6,18 @@
 //	paperrepro -quick     # 1/6 horizons, coarser grids (for smoke runs)
 //	paperrepro -only fig3,fig11
 //	paperrepro -reps 5    # 5 replicates per point; cells become mean±CI
+//	paperrepro -json      # machine-readable report documents
 //
 // Every figure grid runs through the shared replicated-sweep engine
 // (pmm.Sweep): -reps replicates each point at deterministically derived
-// seeds and -workers bounds parallelism without affecting results.
+// seeds and -workers bounds parallelism without affecting results. With
+// -json the figure tables are emitted as one JSON array of report
+// documents (id, title, columns, row objects keyed by column) —
+// mirroring rtdbsim's machine-readable aggregates.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +36,7 @@ func main() {
 		out     = flag.String("out", "", "also write the reports to this file")
 		reps    = flag.Int("reps", 1, "replicates per sweep point; > 1 reports mean ± CI cells")
 		workers = flag.Int("workers", 0, "max parallel simulations (0 = GOMAXPROCS)")
+		asJSON  = flag.Bool("json", false, "emit the reports as a JSON array instead of text tables")
 	)
 	flag.Parse()
 
@@ -48,16 +54,35 @@ func main() {
 		os.Exit(1)
 	}
 
-	var b strings.Builder
+	selected := reports[:0]
 	for _, rep := range reports {
 		if len(want) > 0 && !want[rep.ID] {
 			continue
 		}
-		b.WriteString(rep.Render())
-		b.WriteByte('\n')
+		selected = append(selected, rep)
 	}
-	fmt.Print(b.String())
-	fmt.Printf("(%d reports in %.0f s)\n", len(reports), time.Since(start).Seconds())
+
+	var b strings.Builder
+	if *asJSON {
+		docs := make([]exp.Doc, 0, len(selected))
+		for _, rep := range selected {
+			docs = append(docs, rep.Doc())
+		}
+		enc := json.NewEncoder(&b)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(docs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(b.String())
+	} else {
+		for _, rep := range selected {
+			b.WriteString(rep.Render())
+			b.WriteByte('\n')
+		}
+		fmt.Print(b.String())
+		fmt.Printf("(%d reports in %.0f s)\n", len(selected), time.Since(start).Seconds())
+	}
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {

@@ -1,0 +1,65 @@
+package pmm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pmm"
+)
+
+// TestGoldenKernelDigests pins a digest of one shortened BaselineConfig
+// run per policy at a fixed seed. The constants were captured on the
+// pre-refactor (container/heap, eager-cancel) kernel; the zero-allocation
+// kernel must reproduce every run bit for bit — the determinism contract
+// is (time, then scheduling sequence) event ordering, so any reordering,
+// lost cancel, or double wake shows up here as a digest mismatch.
+func TestGoldenKernelDigests(t *testing.T) {
+	golden := []struct {
+		name                               string
+		pol                                pmm.PolicyConfig
+		steps                              uint64
+		arrived, completed, missed, events int
+		missRatio                          string
+	}{
+		{"Max", pmm.PolicyConfig{Kind: pmm.PolicyMax}, 551455, 93, 52, 35, 87, "0.402298850575"},
+		{"MinMax", pmm.PolicyConfig{Kind: pmm.PolicyMinMax}, 1221006, 93, 41, 44, 85, "0.517647058824"},
+		{"MinMax-10", pmm.PolicyConfig{Kind: pmm.PolicyMinMax, MPLLimit: 10}, 1210808, 93, 41, 44, 85, "0.517647058824"},
+		{"Proportional", pmm.PolicyConfig{Kind: pmm.PolicyProportional}, 1246323, 93, 44, 40, 84, "0.476190476190"},
+		{"PMM", pmm.PolicyConfig{Kind: pmm.PolicyPMM}, 628652, 93, 44, 43, 87, "0.494252873563"},
+		{"FairPMM", pmm.PolicyConfig{Kind: pmm.PolicyFairPMM}, 628652, 93, 44, 43, 87, "0.494252873563"},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := pmm.BaselineConfig()
+			cfg.Seed = 42
+			cfg.Duration = 1500
+			cfg.Classes[0].ArrivalRate = 0.06
+			cfg.Policy = g.pol
+			sys, err := pmm.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := sys.Run()
+			if got := sys.Kernel().Steps(); got != g.steps {
+				t.Errorf("kernel steps = %d, want %d", got, g.steps)
+			}
+			if r.Arrived != g.arrived {
+				t.Errorf("arrived = %d, want %d", r.Arrived, g.arrived)
+			}
+			if r.Completed != g.completed {
+				t.Errorf("completed = %d, want %d", r.Completed, g.completed)
+			}
+			if r.Missed != g.missed {
+				t.Errorf("missed = %d, want %d", r.Missed, g.missed)
+			}
+			if got := len(r.Events); got != g.events {
+				t.Errorf("termination events = %d, want %d", got, g.events)
+			}
+			if got := fmt.Sprintf("%.12f", r.MissRatio); got != g.missRatio {
+				t.Errorf("miss ratio = %s, want %s", got, g.missRatio)
+			}
+		})
+	}
+}

@@ -106,6 +106,14 @@ type Disk struct {
 	served    uint64 // completed requests
 	seqHits   uint64 // requests served from a tracked stream
 
+	// Allocation-free service plumbing: requests are pooled and the
+	// completion callbacks are bound once, with the in-service entry
+	// carried in cur rather than captured in per-dispatch closures.
+	reqFree          []*request
+	cur              *sim.Waiting
+	completeQueuedFn func()
+	completeDirectFn func()
+
 	// The 256 KB prefetch cache tracks a small number of concurrent
 	// sequential streams (most recently used first). More interleaved
 	// streams than the cache can hold thrash it back to full-cost
@@ -158,6 +166,8 @@ func NewManager(k *sim.Kernel, params Params, relCylinders int, seed int64) (*Ma
 			tempInner: newRegionAlloc(0, lo),
 			tempOuter: newRegionAlloc(hi, params.NumCylinders),
 		}
+		d.completeQueuedFn = d.completeQueued
+		d.completeDirectFn = d.completeDirect
 		m.disks = append(m.disks, d)
 	}
 	return m, nil
@@ -217,13 +227,32 @@ func (d *Disk) Served() uint64 { return d.served }
 // QueueLen returns the number of queued requests.
 func (d *Disk) QueueLen() int { return d.gate.Len() }
 
+// getReq takes a request record from the disk's pool.
+func (d *Disk) getReq() *request {
+	if n := len(d.reqFree) - 1; n >= 0 {
+		r := d.reqFree[n]
+		d.reqFree = d.reqFree[:n]
+		return r
+	}
+	return &request{}
+}
+
+// putReq recycles a request record once nothing references it: after the
+// owning access call unwinds (queued path) or once its service time has
+// been computed (direct path).
+func (d *Disk) putReq(r *request) {
+	d.reqFree = append(d.reqFree, r)
+}
+
 // Access performs one non-sequential disk access of `pages` pages at the
 // given cylinder with the given ED priority (lower = more urgent). The
 // calling process blocks until the transfer completes. It returns false
 // if the process was interrupted — while queued (no disk time consumed)
 // or mid-transfer (the transfer finishes first).
 func (d *Disk) Access(p *sim.Proc, prio float64, cylinder, pages int) bool {
-	return d.access(p, prio, &request{cylinder: cylinder, pages: pages, prio: prio})
+	req := d.getReq()
+	*req = request{cylinder: cylinder, pages: pages, prio: prio}
+	return d.access(p, prio, req)
 }
 
 // AccessSeq performs a sequential access: page `fromPage` of `file`. If
@@ -232,9 +261,11 @@ func (d *Disk) Access(p *sim.Proc, prio float64, cylinder, pages int) bool {
 // otherwise it pays the full seek and rotational delay and starts a new
 // tracked stream.
 func (d *Disk) AccessSeq(p *sim.Proc, prio float64, cylinder, pages int, file int64, fromPage int) bool {
-	return d.access(p, prio, &request{
+	req := d.getReq()
+	*req = request{
 		cylinder: cylinder, pages: pages, prio: prio, file: file, page: fromPage,
-	})
+	}
+	return d.access(p, prio, req)
 }
 
 func (d *Disk) access(p *sim.Proc, prio float64, req *request) bool {
@@ -252,7 +283,12 @@ func (d *Disk) access(p *sim.Proc, prio float64, req *request) bool {
 		// interrupt semantics uniform but we can dispatch synchronously.
 		return d.serveDirect(p, req)
 	}
-	return d.gate.Wait(p, prio, req)
+	// By the time Wait returns the request is no longer referenced: an
+	// interrupted entry was unlinked, and a dispatched one had its
+	// service time consumed before its process was woken.
+	ok := d.gate.Wait(p, prio, req)
+	d.putReq(req)
+	return ok
 }
 
 // maxStreams is how many concurrent sequential streams the 256 KB cache
@@ -293,13 +329,30 @@ func (d *Disk) serveDirect(p *sim.Proc, req *request) bool {
 	d.busy = true
 	d.meter.SetBusy(true)
 	service := d.serviceTime(req)
-	d.k.At(service, func() {
-		d.served++
-		d.busy = false
-		d.meter.SetBusy(false)
-		d.dispatch()
-	})
+	d.putReq(req)
+	d.k.At(service, d.completeDirectFn)
 	return p.Hold(service)
+}
+
+// completeDirect finishes a directly served request; the caller's own
+// hold timer (scheduled after this event) wakes it separately.
+func (d *Disk) completeDirect() {
+	d.served++
+	d.busy = false
+	d.meter.SetBusy(false)
+	d.dispatch()
+}
+
+// completeQueued finishes a dispatched request: the served process's
+// wake is scheduled before the next request starts.
+func (d *Disk) completeQueued() {
+	w := d.cur
+	d.cur = nil
+	d.served++
+	d.busy = false
+	d.meter.SetBusy(false)
+	d.gate.EndService(w)
+	d.dispatch()
 }
 
 // serviceTime computes the service time for a request and moves the
@@ -341,11 +394,10 @@ func (d *Disk) dispatch() {
 	if d.busy {
 		return
 	}
-	waiters := d.gate.Waiters()
-	if len(waiters) == 0 {
+	best := d.pickNext()
+	if best == nil {
 		return
 	}
-	best := d.pickNext(waiters)
 	req := best.Data.(*request)
 	if !d.gate.BeginService(best) {
 		return
@@ -353,27 +405,23 @@ func (d *Disk) dispatch() {
 	d.busy = true
 	d.meter.SetBusy(true)
 	service := d.serviceTime(req)
-	d.k.At(service, func() {
-		d.served++
-		d.busy = false
-		d.meter.SetBusy(false)
-		d.gate.EndService(best)
-		d.dispatch()
-	})
+	d.cur = best
+	d.k.At(service, d.completeQueuedFn)
 }
 
-// pickNext implements ED with elevator tie-breaking over the waiters.
-func (d *Disk) pickNext(waiters []*sim.Waiting) *sim.Waiting {
+// pickNext implements ED with elevator tie-breaking over the queued
+// waiters, iterating the gate's queue in place.
+func (d *Disk) pickNext() *sim.Waiting {
 	// Find the minimum priority.
 	minPrio := math.Inf(1)
-	for _, w := range waiters {
+	for w := d.gate.First(); w != nil; w = w.Next() {
 		if w.Prio < minPrio {
 			minPrio = w.Prio
 		}
 	}
 	var ahead, behind *sim.Waiting
 	var aheadDist, behindDist int
-	for _, w := range waiters {
+	for w := d.gate.First(); w != nil; w = w.Next() {
 		if w.Prio != minPrio {
 			continue
 		}

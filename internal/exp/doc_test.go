@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestReportDoc(t *testing.T) {
+	r := &Report{
+		ID:     "fig3",
+		Title:  "Miss ratio",
+		Header: []string{"rate", "Max", "PMM"},
+		Rows: [][]string{
+			{"0.04", "1.0", "2.0"},
+			{"0.06", "3.0"}, // short row: trailing column omitted
+		},
+		Notes: []string{"baseline"},
+	}
+	d := r.Doc()
+	if d.ID != "fig3" || d.Title != "Miss ratio" || len(d.Columns) != 3 {
+		t.Fatalf("doc header wrong: %+v", d)
+	}
+	if len(d.Rows) != 2 {
+		t.Fatalf("rows %d, want 2", len(d.Rows))
+	}
+	if d.Rows[0]["rate"] != "0.04" || d.Rows[0]["PMM"] != "2.0" {
+		t.Fatalf("row 0 wrong: %v", d.Rows[0])
+	}
+	if _, ok := d.Rows[1]["PMM"]; ok {
+		t.Fatalf("short row fabricated a cell: %v", d.Rows[1])
+	}
+	// The document must round-trip through encoding/json.
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Doc
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows[0]["Max"] != "1.0" || back.Notes[0] != "baseline" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -87,6 +87,33 @@ type Report struct {
 	Notes  []string
 }
 
+// Doc is a report in machine-readable form: every row becomes an object
+// keyed by column header, mirroring rtdbsim's -json aggregates so sweep
+// tooling can consume figure tables without screen-scraping.
+type Doc struct {
+	ID      string              `json:"id"`
+	Title   string              `json:"title"`
+	Columns []string            `json:"columns"`
+	Rows    []map[string]string `json:"rows"`
+	Notes   []string            `json:"notes,omitempty"`
+}
+
+// Doc converts the report. Cells beyond the header are dropped; missing
+// trailing cells are omitted from that row's object.
+func (r *Report) Doc() Doc {
+	d := Doc{ID: r.ID, Title: r.Title, Columns: r.Header, Notes: r.Notes}
+	for _, row := range r.Rows {
+		obj := make(map[string]string, len(r.Header))
+		for i, c := range row {
+			if i < len(r.Header) {
+				obj[r.Header[i]] = c
+			}
+		}
+		d.Rows = append(d.Rows, obj)
+	}
+	return d
+}
+
 // Render formats the report as an aligned text table.
 func (r *Report) Render() string {
 	var b strings.Builder

@@ -174,6 +174,11 @@ func (s *System) launch(q *query.Query) {
 	q.Proc = s.k.Spawn(fmt.Sprintf("q%d", q.ID), func(p *sim.Proc) {
 		s.runQuery(q, p)
 	})
+	// The abort event deliberately fires even for queries that finish
+	// early (it checks Finished and does nothing): cancelling it on
+	// completion would change the executed-event trace, and with the
+	// kernel's lazy cancellation the pending tombstone costs no heap
+	// maintenance either way.
 	s.k.At(q.Deadline-s.k.Now(), func() {
 		if !q.Finished {
 			q.Proc.Interrupt()

@@ -1,0 +1,96 @@
+package runner
+
+import (
+	"math"
+	"testing"
+
+	"pmm/internal/rtdbs"
+	"pmm/internal/stats"
+)
+
+func TestAggregatePairedMath(t *testing.T) {
+	a := []*rtdbs.Results{
+		{MissRatio: 0.30, Terminated: 100},
+		{MissRatio: 0.40, Terminated: 110},
+		{MissRatio: 0.50, Terminated: 120},
+	}
+	b := []*rtdbs.Results{
+		{MissRatio: 0.10, Terminated: 100},
+		{MissRatio: 0.25, Terminated: 110},
+		{MissRatio: 0.35, Terminated: 120},
+	}
+	p := AggregatePaired(a, b, 0.95)
+	if p.Reps != 3 {
+		t.Fatalf("reps %d", p.Reps)
+	}
+	// Deltas are {0.20, 0.15, 0.15}: mean 1/6+1/30... = 0.1666…
+	wantMean := (0.20 + 0.15 + 0.15) / 3
+	if math.Abs(p.MissRatio.Mean-wantMean) > 1e-12 {
+		t.Fatalf("paired mean %g, want %g", p.MissRatio.Mean, wantMean)
+	}
+	// Identical per-replicate Terminated counts difference out exactly:
+	// the paired interval collapses to zero width.
+	if p.Terminated.Mean != 0 || p.Terminated.HalfWidth != 0 {
+		t.Fatalf("terminated delta %+v, want exactly zero", p.Terminated)
+	}
+	sd := p.MissRatio.SD
+	wantHW := stats.NormalQuantile(0.975) * sd / math.Sqrt(3)
+	if math.Abs(p.MissRatio.HalfWidth-wantHW) > 1e-12 {
+		t.Fatalf("half-width %g, want %g", p.MissRatio.HalfWidth, wantHW)
+	}
+}
+
+func TestAggregatePairedMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched replicate counts must panic")
+		}
+	}()
+	AggregatePaired([]*rtdbs.Results{{}}, nil, 0.95)
+}
+
+// TestPairedCITighterUnderCRN is the variance-reduction claim itself:
+// with common random numbers (shared replicate seeds), the confidence
+// interval on the per-replicate policy difference is tighter than both
+// marginal intervals being compared.
+func TestPairedCITighterUnderCRN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	const reps = 6
+	// A loaded operating point long enough that both policies miss a
+	// replicate-varying share of deadlines (a zero-variance marginal
+	// would make the comparison vacuous).
+	loaded := tinyConfig()
+	loaded.Duration = 1800
+	loaded.Classes[0].ArrivalRate = 0.07
+	cfgA := loaded
+	cfgA.Policy = rtdbs.PolicyConfig{Kind: rtdbs.PolicyMax}
+	cfgB := cloneConfig(loaded)
+	cfgB.Policy = rtdbs.PolicyConfig{Kind: rtdbs.PolicyMinMax}
+	runsA, err := RunMany(cfgA, reps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsB, err := RunMany(cfgB, reps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	margA := Summarize(runsA, 0.95)
+	margB := Summarize(runsB, 0.95)
+	paired := AggregatePaired(runsA, runsB, 0.95)
+	if math.Abs(paired.MissRatio.Mean-(margA.MissRatio.Mean-margB.MissRatio.Mean)) > 1e-9 {
+		t.Fatalf("paired mean %g != difference of marginal means %g",
+			paired.MissRatio.Mean, margA.MissRatio.Mean-margB.MissRatio.Mean)
+	}
+	hw := paired.MissRatio.HalfWidth
+	if hw >= margA.MissRatio.HalfWidth || hw >= margB.MissRatio.HalfWidth {
+		t.Fatalf("paired CI ±%g not tighter than marginals ±%g / ±%g — CRN correlation lost?",
+			hw, margA.MissRatio.HalfWidth, margB.MissRatio.HalfWidth)
+	}
+	// The triangle inequality bound holds regardless of correlation; a
+	// violation means the pairing itself is miscomputed.
+	if hw > margA.MissRatio.HalfWidth+margB.MissRatio.HalfWidth+1e-12 {
+		t.Fatalf("paired CI ±%g exceeds the uncorrelated bound", hw)
+	}
+}

@@ -1,0 +1,125 @@
+package sim
+
+import "testing"
+
+// Kernel micro-benchmarks: the scheduling hot path in isolation. All
+// three must run allocation-free in steady state (allocs/op = 0); the
+// before/after history lives in BENCH_kernel.json at the repo root.
+
+// BenchmarkKernelChurn measures the timer churn pattern the simulator
+// generates constantly: schedule two events, cancel one, execute one.
+func BenchmarkKernelChurn(b *testing.B) {
+	k := NewKernel()
+	fn := func() {}
+	// Warm the event pool so steady state is measured, not growth.
+	for i := 0; i < 64; i++ {
+		k.At(1, fn)
+	}
+	k.Drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := k.At(1, fn)
+		k.At(2, fn)
+		t.Stop()
+		k.Step()
+	}
+	b.StopTimer()
+	k.Drain()
+}
+
+// BenchmarkKernelZeroDelay measures the same-timestamp handoff pattern
+// (spawn turns, wakes, gate grants): schedule at delay 0, execute.
+func BenchmarkKernelZeroDelay(b *testing.B) {
+	k := NewKernel()
+	fn := func() {}
+	k.At(0, fn)
+	k.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.At(0, fn)
+		k.Step()
+	}
+}
+
+// BenchmarkHoldWake measures the process handoff cycle: a Hold (timer
+// park + timed wake), then a Park ended by an external Wake.
+func BenchmarkHoldWake(b *testing.B) {
+	k := NewKernel()
+	p := k.Spawn("holdwake", func(p *Proc) {
+		for {
+			if !p.Hold(1) {
+				return
+			}
+			if !p.Park() {
+				return
+			}
+		}
+	})
+	k.Step() // spawn turn: proc runs and parks in Hold
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step() // hold timer fires, wake scheduled
+		k.Step() // proc resumes, blocks in Park
+		p.Wake()
+		k.Step() // proc resumes, blocks in Hold again
+	}
+	b.StopTimer()
+	p.Interrupt()
+	k.Drain()
+}
+
+// BenchmarkGateContention measures the scheduler-queue hot path the CPU
+// and disks run on every dispatch: N queued waiters, the owner scans for
+// the best (lowest Prio, FIFO among ties), releases it, and the released
+// process immediately re-queues.
+func BenchmarkGateContention(b *testing.B) {
+	const nWaiters = 8
+	k := NewKernel()
+	g := NewGate(k, "bench")
+	for i := 0; i < nWaiters; i++ {
+		prio := float64(i % 4)
+		k.Spawn("waiter", func(p *Proc) {
+			for g.Wait(p, prio, nil) {
+			}
+		})
+	}
+	for i := 0; i < nWaiters; i++ {
+		k.Step() // spawn turns: everyone queues
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		best := pickBest(g)
+		g.Release(best)
+		k.Step() // released proc re-queues
+	}
+	b.StopTimer()
+	for _, p := range procsOf(g) {
+		p.Interrupt()
+	}
+	k.Drain()
+}
+
+// pickBest scans the gate the way Server.dispatch does: minimum Prio,
+// FIFO among equals (arrival-order iteration makes strict < exact).
+func pickBest(g *Gate) *Waiting {
+	var best *Waiting
+	for w := g.First(); w != nil; w = w.Next() {
+		if best == nil || w.Prio < best.Prio {
+			best = w
+		}
+	}
+	return best
+}
+
+// procsOf snapshots the processes currently queued at g (teardown aid).
+func procsOf(g *Gate) []*Proc {
+	var out []*Proc
+	for _, w := range g.Waiters() {
+		out = append(out, w.Proc())
+	}
+	return out
+}

@@ -2,11 +2,19 @@
 // process-oriented semantics, in the style of the DeNet simulation
 // language the original paper used.
 //
-// The kernel owns a virtual clock and an event heap ordered by
+// The kernel owns a virtual clock and an event queue ordered by
 // (time, insertion sequence).  Processes are goroutines that cooperate
 // with the kernel: exactly one of {kernel, some process} runs at any
 // instant, with handoffs over unbuffered channels, so simulations are
 // fully deterministic for a fixed seed and schedule.
+//
+// The scheduling core is allocation-free in steady state: event records
+// are pooled and recycled, timed events sit in a concrete 4-ary heap of
+// plain-data items, cancellation is lazy (tombstones skipped on pop
+// instead of heap removals), and zero-delay events — process turns,
+// wakes, gate grants — bypass the heap through a same-timestamp FIFO
+// fast lane.  See kernel.go for the ordering argument; the observable
+// contract is unchanged: events fire in exact (time, sequence) order.
 //
 // Processes block with Hold (advance local time), Park (wait for an
 // external Wake), or by queueing on a Server.  Any blocked process can be

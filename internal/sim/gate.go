@@ -6,24 +6,37 @@ package sim
 // service section. CPU and disk queues, as well as the memory-admission
 // queue, are all built on Gate.
 //
+// The wait queue is an intrusive doubly-linked list threaded through
+// Waiting records embedded in each process (Proc.wait), so queueing,
+// releasing, and interrupt removal are O(1) and allocation-free. A
+// process occupies at most one gate at a time; its record is recycled
+// wait after wait, which means a *Waiting handle is only valid while the
+// wait it was obtained for is still queued or in service — exactly the
+// window in which owners act on handles.
+//
 // A waiter interrupted while queued is removed from the gate
 // automatically and its Wait call returns false; the owner simply never
-// sees it again in Waiters().
+// sees it again when iterating the queue.
 type Gate struct {
-	k       *Kernel
-	name    string
-	seq     uint64
-	waiters []*Waiting
+	k          *Kernel
+	name       string
+	seq        uint64
+	head, tail *Waiting
+	n          int
 }
 
 // Waiting is one process queued at a Gate.
 type Waiting struct {
-	proc *Proc
-	gate *Gate
-	seq  uint64
+	proc       *Proc
+	gate       *Gate
+	next, prev *Waiting
+	seq        uint64
 	// Prio is the caller-supplied priority (lower is more urgent under
 	// Earliest Deadline). The gate itself does not order by it; owners do.
 	Prio float64
+	// Val is a float payload the owner attached via WaitVal (service
+	// times take this lane to avoid boxing them into Data).
+	Val float64
 	// Data is an arbitrary payload the owner attached via Wait.
 	Data any
 
@@ -43,27 +56,72 @@ func (w *Waiting) Proc() *Proc { return w.proc }
 // Seq returns the arrival sequence number, unique and increasing per gate.
 func (w *Waiting) Seq() uint64 { return w.seq }
 
+// Next returns the waiter that arrived after w, for in-place iteration
+// in arrival order: for w := g.First(); w != nil; w = w.Next() { ... }.
+// The queue must not be mutated mid-iteration; owners scan, pick, then
+// call Release or BeginService.
+func (w *Waiting) Next() *Waiting { return w.next }
+
 // Len returns the number of queued (not in-service) waiters.
-func (g *Gate) Len() int { return len(g.waiters) }
+func (g *Gate) Len() int { return g.n }
+
+// First returns the longest-queued waiter, or nil for an empty gate.
+func (g *Gate) First() *Waiting { return g.head }
 
 // Waiters returns the queued processes in arrival order. The slice is a
 // snapshot; entries released or interrupted after the call become stale
-// and are ignored by Release/BeginService.
+// and are ignored by Release/BeginService — but only until the entry's
+// process queues again, because records are recycled (see the Gate doc).
+// Owners must act on handles within the same simulation event that
+// obtained them, before any waiter can unwind and re-queue; every
+// in-tree owner (Server, Disk, admission) does so. Hot paths should
+// iterate via First/Next instead, which allocates nothing.
 func (g *Gate) Waiters() []*Waiting {
-	out := make([]*Waiting, len(g.waiters))
-	copy(out, g.waiters)
+	out := make([]*Waiting, 0, g.n)
+	for w := g.head; w != nil; w = w.next {
+		out = append(out, w)
+	}
 	return out
 }
 
-// remove deletes w from the queue, preserving order.
+// remove unlinks w from the queue, preserving order.
 func (g *Gate) remove(w *Waiting) {
-	for i, x := range g.waiters {
-		if x == w {
-			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
-			w.removed = true
-			return
-		}
+	if w.removed {
+		return
 	}
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else {
+		g.head = w.next
+	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else {
+		g.tail = w.prev
+	}
+	w.next, w.prev = nil, nil
+	w.removed = true
+	g.n--
+}
+
+// wait queues the calling process and parks until released.
+func (g *Gate) wait(p *Proc, prio float64, data any, val float64) bool {
+	if p.takePendingInterrupt() {
+		return false
+	}
+	w := &p.wait
+	*w = Waiting{proc: p, gate: g, seq: g.seq, Prio: prio, Val: val, Data: data}
+	g.seq++
+	if g.tail == nil {
+		g.head = w
+	} else {
+		g.tail.next = w
+		w.prev = g.tail
+	}
+	g.tail = w
+	g.n++
+	p.cancel = cancelGate
+	return !p.park().interrupted
 }
 
 // Wait queues the calling process at the gate with the given priority and
@@ -72,14 +130,13 @@ func (g *Gate) remove(w *Waiting) {
 // interrupted during a service section begun with BeginService (the
 // service completes first).
 func (g *Gate) Wait(p *Proc, prio float64, data any) bool {
-	if p.takePendingInterrupt() {
-		return false
-	}
-	w := &Waiting{proc: p, gate: g, seq: g.seq, Prio: prio, Data: data}
-	g.seq++
-	g.waiters = append(g.waiters, w)
-	p.cancel = func() { g.remove(w) }
-	return !p.park().interrupted
+	return g.wait(p, prio, data, 0)
+}
+
+// WaitVal is Wait with a float payload (read back via Waiting.Val); it
+// exists so hot paths need not box numeric payloads into Data.
+func (g *Gate) WaitVal(p *Proc, prio, val float64) bool {
+	return g.wait(p, prio, nil, val)
 }
 
 // Release removes w from the queue and wakes its process. It reports
@@ -103,8 +160,9 @@ func (g *Gate) BeginService(w *Waiting) bool {
 	g.remove(w)
 	w.inService = true
 	// The process keeps waiting but can no longer be torn out of the
-	// queue: clear its cancel hook so interrupts defer to EndService.
-	w.proc.cancel = nil
+	// queue: mark its wait uncancellable so interrupts defer to
+	// EndService.
+	w.proc.cancel = cancelNone
 	return true
 }
 

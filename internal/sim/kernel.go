@@ -1,77 +1,91 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// event is a scheduled callback. Events with equal times fire in
-// scheduling order (seq), which keeps runs deterministic.
-type event struct {
-	at    float64
-	seq   uint64
-	fn    func()
-	dead  bool // cancelled Timer
-	index int  // heap index, -1 once popped
-}
+// The kernel's scheduling core is allocation-free in steady state:
+//
+//   - Event records live in a pooled slot arena (slots + free list).
+//     Scheduling reuses a freed slot instead of heap-allocating, so after
+//     warmup At/Stop/Step never allocate.
+//   - The pending-event queue is a concrete 4-ary heap of plain-data
+//     items ordered by (time, scheduling sequence) — no interface
+//     dispatch, no per-element heap-index bookkeeping.
+//   - Timer.Stop cancels lazily: it retires the slot and leaves the
+//     queue entry behind as a stale tombstone that pops are skipped
+//     over, instead of paying a heap removal sift.
+//   - Zero-delay events (process turns, wakes, gate grants — the
+//     dominant event kind) bypass the heap entirely through a FIFO fast
+//     lane: they fire at the current time in scheduling order, so a
+//     plain queue preserves the (time, seq) contract.
+//
+// Slot occupancy is keyed by the event's globally unique sequence
+// number: a queue entry or Timer whose seq no longer matches its slot is
+// stale (fired, cancelled, or the slot was recycled) and is ignored.
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// eventSlot is one pooled event record. fn is the scheduled callback;
+// seq identifies the occupying event (noEvent when the slot is free).
+type eventSlot struct {
+	fn  func()
+	seq uint64
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// noEvent marks a vacant slot. Real sequence numbers are assigned from 0
+// upward and cannot reach it.
+const noEvent = ^uint64(0)
+
+// heapItem is one pending timed event. Plain data (no pointers), ordered
+// by (at, seq).
+type heapItem struct {
+	at  float64
+	seq uint64
+	id  int32
+}
+
+// laneItem is one pending zero-delay event in the same-timestamp FIFO
+// fast lane. Its time is implicitly the kernel's current time.
+type laneItem struct {
+	seq uint64
+	id  int32
+}
+
+// Timer is a handle to a scheduled event that can be cancelled. The zero
+// value is a stopped timer.
 type Timer struct {
-	k *Kernel
-	e *event
+	k   *Kernel
+	id  int32
+	seq uint64
 }
 
-// Stop cancels the timer. It reports whether the event had not yet fired.
+// Stop cancels the timer. It reports whether the event had not yet
+// fired. The event's queue entry is not removed eagerly; it remains as a
+// stale tombstone the kernel skips when it surfaces.
 func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.dead {
+	k := t.k
+	if k == nil {
 		return false
 	}
-	t.e.dead = true
-	if t.e.index >= 0 {
-		heap.Remove(&t.k.events, t.e.index)
+	t.k = nil
+	s := &k.slots[t.id]
+	if s.seq != t.seq {
+		return false // already fired or cancelled
 	}
-	fired := t.e.fn == nil
-	t.e = nil
-	return !fired
+	k.freeSlot(t.id)
+	return true
 }
 
-// Kernel is the simulation engine: a virtual clock plus an event heap.
+// Kernel is the simulation engine: a virtual clock plus an event queue.
 // The zero value is not usable; call NewKernel.
 type Kernel struct {
-	now    float64
-	events eventHeap
-	seq    uint64
-	steps  uint64
-	procs  int // live processes, for leak detection in tests
+	now   float64
+	seq   uint64
+	steps uint64
+	procs int // live processes, for leak detection in tests
+
+	slots []eventSlot // pooled event records
+	free  []int32     // vacant slot ids (LIFO keeps hot slots cache-warm)
+	heap  []heapItem  // 4-ary min-heap of timed events
+	lane  []laneItem  // FIFO of zero-delay events at the current time
+	lhead int         // first unconsumed lane index
 }
 
 // NewKernel returns a kernel with the clock at time zero.
@@ -88,53 +102,130 @@ func (k *Kernel) Steps() uint64 { return k.steps }
 // LiveProcs returns the number of spawned processes that have not finished.
 func (k *Kernel) LiveProcs() int { return k.procs }
 
+// freeSlot vacates a slot and recycles it.
+func (k *Kernel) freeSlot(id int32) {
+	s := &k.slots[id]
+	s.fn = nil
+	s.seq = noEvent
+	k.free = append(k.free, id)
+}
+
 // At schedules fn to run after delay simulated seconds and returns a
 // cancellable Timer. A negative delay panics: the past is immutable.
-func (k *Kernel) At(delay float64, fn func()) *Timer {
+// Events with equal times fire in scheduling order, which keeps runs
+// deterministic.
+func (k *Kernel) At(delay float64, fn func()) Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %g", delay))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	e := &event{at: k.now + delay, seq: k.seq, fn: fn}
+	var id int32
+	if n := len(k.free) - 1; n >= 0 {
+		id = k.free[n]
+		k.free = k.free[:n]
+	} else {
+		k.slots = append(k.slots, eventSlot{})
+		id = int32(len(k.slots) - 1)
+	}
+	seq := k.seq
 	k.seq++
-	heap.Push(&k.events, e)
-	return &Timer{k: k, e: e}
+	s := &k.slots[id]
+	s.fn = fn
+	s.seq = seq
+	if delay == 0 {
+		// Same-timestamp fast lane. Lane entries always fire before the
+		// clock can advance (nothing can be scheduled earlier than now),
+		// so their time needs no storage and no heap ordering.
+		k.lane = append(k.lane, laneItem{seq: seq, id: id})
+	} else {
+		k.heapPush(heapItem{at: k.now + delay, seq: seq, id: id})
+	}
+	return Timer{k: k, id: id, seq: seq}
+}
+
+// skipStale advances past cancelled entries at the lane head and the
+// heap root, so both fronts are live (or exhausted) afterwards.
+func (k *Kernel) skipStale() (hasLane, hasHeap bool) {
+	for k.lhead < len(k.lane) {
+		l := k.lane[k.lhead]
+		if k.slots[l.id].seq == l.seq {
+			hasLane = true
+			break
+		}
+		k.lhead++
+	}
+	if !hasLane && len(k.lane) > 0 {
+		k.lane = k.lane[:0]
+		k.lhead = 0
+	}
+	for len(k.heap) > 0 {
+		r := k.heap[0]
+		if k.slots[r.id].seq == r.seq {
+			hasHeap = true
+			break
+		}
+		k.heapPopRoot()
+	}
+	return hasLane, hasHeap
+}
+
+// pop removes and returns the next live event in (time, seq) order.
+func (k *Kernel) pop() (id int32, at float64, ok bool) {
+	hasLane, hasHeap := k.skipStale()
+	switch {
+	case !hasLane && !hasHeap:
+		return 0, 0, false
+	case hasLane && (!hasHeap ||
+		!(k.heap[0].at == k.now && k.heap[0].seq < k.lane[k.lhead].seq)):
+		// Lane entries fire at the current time; the heap wins only with
+		// an equal-time event scheduled earlier (e.g. a positive delay
+		// that underflowed to the current instant).
+		l := k.lane[k.lhead]
+		k.lhead++
+		if k.lhead == len(k.lane) {
+			// Reclaim the consumed prefix eagerly: a steady stream of
+			// zero-delay events must not grow the lane without bound.
+			k.lane = k.lane[:0]
+			k.lhead = 0
+		}
+		return l.id, k.now, true
+	default:
+		r := k.heapPopRoot()
+		return r.id, r.at, true
+	}
 }
 
 // Step executes the next pending event, advancing the clock.
 // It reports whether an event was executed.
 func (k *Kernel) Step() bool {
-	for k.events.Len() > 0 {
-		e := heap.Pop(&k.events).(*event)
-		if e.dead {
-			continue
-		}
-		if e.at < k.now {
-			panic("sim: event scheduled in the past")
-		}
-		k.now = e.at
-		fn := e.fn
-		e.fn = nil
-		k.steps++
-		fn()
-		return true
+	id, at, ok := k.pop()
+	if !ok {
+		return false
 	}
-	return false
+	if at < k.now {
+		panic("sim: event scheduled in the past")
+	}
+	k.now = at
+	fn := k.slots[id].fn
+	k.freeSlot(id)
+	k.steps++
+	fn()
+	return true
 }
 
 // Run executes events until the clock would pass `until` or no events
 // remain. The clock is left at min(until, time of last event executed).
 // Events scheduled exactly at `until` do run.
 func (k *Kernel) Run(until float64) {
-	for k.events.Len() > 0 {
-		// Peek: the heap root is the earliest event.
-		if k.events[0].dead {
-			heap.Pop(&k.events)
-			continue
-		}
-		if k.events[0].at > until {
+	for {
+		hasLane, hasHeap := k.skipStale()
+		if hasLane {
+			if k.now > until {
+				break
+			}
+		} else if !hasHeap || k.heap[0].at > until {
 			break
 		}
 		k.Step()
@@ -148,4 +239,61 @@ func (k *Kernel) Run(until float64) {
 func (k *Kernel) Drain() {
 	for k.Step() {
 	}
+}
+
+// heapLess orders pending events by time, then scheduling sequence.
+func heapLess(a, b heapItem) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// heapPush inserts an item into the 4-ary min-heap.
+func (k *Kernel) heapPush(it heapItem) {
+	h := append(k.heap, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !heapLess(it, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = it
+	k.heap = h
+}
+
+// heapPopRoot removes and returns the heap minimum.
+func (k *Kernel) heapPopRoot() heapItem {
+	h := k.heap
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	k.heap = h
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if heapLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !heapLess(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return root
 }

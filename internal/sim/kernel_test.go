@@ -83,6 +83,106 @@ func TestTimerStopAfterFire(t *testing.T) {
 	}
 }
 
+func TestTimerStaleAfterSlotReuse(t *testing.T) {
+	k := NewKernel()
+	var fired []string
+	t1 := k.At(1, func() { fired = append(fired, "a") })
+	if !t1.Stop() {
+		t.Fatal("first Stop should report true")
+	}
+	// The cancelled event's slot is recycled by the next At; the old
+	// timer and the old queue tombstone must not affect the new event.
+	t2 := k.At(2, func() { fired = append(fired, "b") })
+	if t1.Stop() {
+		t.Fatal("stale timer Stop should report false after slot reuse")
+	}
+	k.Drain()
+	if len(fired) != 1 || fired[0] != "b" {
+		t.Fatalf("fired %v, want [b]", fired)
+	}
+	if t2.Stop() {
+		t.Fatal("Stop after firing should report false")
+	}
+}
+
+func TestTimerZeroValue(t *testing.T) {
+	var tm Timer
+	if tm.Stop() {
+		t.Fatal("zero-value timer Stop should report false")
+	}
+}
+
+func TestZeroDelayOrdersAfterEqualTimeHeapEvents(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.At(5, func() {
+		order = append(order, "a")
+		// Scheduled inside the tick at t=5: must run after the heap
+		// event "b" that was scheduled for t=5 long before it.
+		k.At(0, func() { order = append(order, "c") })
+	})
+	k.At(5, func() { order = append(order, "b") })
+	k.Drain()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order %v, want [a b c]", order)
+	}
+}
+
+func TestCancelledZeroDelaySkipped(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	tm := k.At(0, func() { fired++ })
+	k.At(0, func() { fired += 10 })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending zero-delay event should report true")
+	}
+	k.Drain()
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10 (cancelled lane event must be skipped)", fired)
+	}
+}
+
+func TestKernelChurnOrdering(t *testing.T) {
+	// Heavily mixed schedule/cancel traffic must still fire live events
+	// in exact (time, seq) order across the pooled heap and fast lane.
+	k := NewKernel()
+	type ev struct{ at, idx int }
+	var fired []ev
+	var timers []Timer
+	idx := 0
+	for round := 0; round < 50; round++ {
+		for j := 0; j < 10; j++ {
+			at := (round*7+j*3)%23 + 1
+			i := idx
+			timers = append(timers, k.At(float64(at), func() { fired = append(fired, ev{at, i}) }))
+			idx++
+		}
+	}
+	for i := range timers {
+		if i%3 == 0 {
+			timers[i].Stop()
+		}
+	}
+	k.Drain()
+	if len(fired) == 0 {
+		t.Fatal("nothing fired")
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if a.at > b.at || (a.at == b.at && a.idx > b.idx) {
+			t.Fatalf("out of order at %d: %+v before %+v", i, a, b)
+		}
+	}
+	for _, e := range fired {
+		if e.idx%3 == 0 {
+			t.Fatalf("cancelled event %d fired", e.idx)
+		}
+	}
+	if want := 500 - (500+2)/3; len(fired) != want {
+		t.Fatalf("fired %d events, want %d", len(fired), want)
+	}
+}
+
 func TestNestedScheduling(t *testing.T) {
 	k := NewKernel()
 	var times []float64

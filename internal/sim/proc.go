@@ -12,6 +12,26 @@ const (
 	procDead                         // body returned
 )
 
+// cancelKind tags how a parked process's current wait can be undone. It
+// replaces the closure-valued cancel hook of the original design so the
+// blocking hot paths (Hold, Gate.Wait) stay allocation-free.
+type cancelKind int8
+
+const (
+	// cancelNone marks an uncancellable section (e.g. a disk transfer);
+	// interrupts are deferred to its completion.
+	cancelNone cancelKind = iota
+	// cancelTimer: the wait is a Hold; cancelling stops p.holdTimer.
+	cancelTimer
+	// cancelGate: the wait is a Gate queue entry; cancelling unlinks
+	// p.wait from its gate.
+	cancelGate
+	// cancelPlain marks a wait entered via Park, the only kind of wait
+	// that Wake may resume; Wake must never tear a process out of a
+	// timer or a scheduler queue.
+	cancelPlain
+)
+
 // outcome is what a wake delivers to a parked process.
 type outcome struct {
 	interrupted bool
@@ -32,15 +52,19 @@ type Proc struct {
 	// process immediately (it was running, mid-service, or already had a
 	// wake in flight); the next blocking point reports it.
 	pendingInterrupt bool
-	// cancel, when non-nil while parked, undoes the cancellable wait the
-	// process sits in (stops a Hold timer, removes a queue entry). A
-	// parked process with nil cancel is in an uncancellable section
-	// (e.g. a disk transfer); interrupts are deferred to its completion.
-	cancel func()
-	// plainPark marks a wait entered via Park, the only kind of wait
-	// that Wake may resume; Wake must never tear a process out of a
-	// timer or a scheduler queue.
-	plainPark bool
+	// cancel describes how to undo the wait the process is parked in;
+	// cancelNone means an uncancellable section.
+	cancel cancelKind
+	// holdTimer is the pending wake of the current Hold (cancelTimer).
+	holdTimer Timer
+	// wait is the process's gate queue entry, embedded so queueing never
+	// allocates; a process occupies at most one gate at a time, and the
+	// entry is recycled wait after wait (see Gate).
+	wait Waiting
+	// turnFn and wakeFn are the process's event callbacks, bound once at
+	// Spawn so scheduling a turn or a timed wake allocates nothing.
+	turnFn func()
+	wakeFn func()
 	// wakeOutcome is consumed by the pending wake event.
 	wakeOutcome outcome
 	panicVal    any
@@ -56,6 +80,8 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		yield:  make(chan struct{}),
 		state:  procWakePending,
 	}
+	p.turnFn = p.runTurn
+	p.wakeFn = func() { p.deliverWake(false) }
 	k.procs++
 	go func() {
 		defer func() {
@@ -69,7 +95,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		<-p.resume
 		body(p)
 	}()
-	k.At(0, p.runTurn)
+	k.At(0, p.turnFn)
 	return p
 }
 
@@ -110,8 +136,7 @@ func (p *Proc) park() outcome {
 	p.state = procParked
 	p.yield <- struct{}{}
 	out := <-p.resume
-	p.cancel = nil
-	p.plainPark = false
+	p.cancel = cancelNone
 	if p.pendingInterrupt {
 		out.interrupted = true
 		p.pendingInterrupt = false
@@ -125,7 +150,7 @@ func (p *Proc) deliverWake(interrupted bool) {
 	case procParked:
 		p.state = procWakePending
 		p.wakeOutcome = outcome{interrupted: interrupted}
-		p.k.At(0, p.runTurn)
+		p.k.At(0, p.turnFn)
 	case procWakePending:
 		if interrupted {
 			p.pendingInterrupt = true
@@ -146,8 +171,8 @@ func (p *Proc) Hold(dt float64) (ok bool) {
 	if p.takePendingInterrupt() {
 		return false
 	}
-	t := p.k.At(dt, func() { p.deliverWake(false) })
-	p.cancel = func() { t.Stop() }
+	p.holdTimer = p.k.At(dt, p.wakeFn)
+	p.cancel = cancelTimer
 	return !p.park().interrupted
 }
 
@@ -157,8 +182,7 @@ func (p *Proc) Park() (ok bool) {
 	if p.takePendingInterrupt() {
 		return false
 	}
-	p.cancel = func() {}
-	p.plainPark = true
+	p.cancel = cancelPlain
 	return !p.park().interrupted
 }
 
@@ -168,9 +192,8 @@ func (p *Proc) Park() (ok bool) {
 // liberally. Waits owned by a Gate or Server can only be ended by the
 // owning primitive.
 func (p *Proc) Wake() {
-	if p.state == procParked && p.plainPark {
-		p.cancel = nil
-		p.plainPark = false
+	if p.state == procParked && p.cancel == cancelPlain {
+		p.cancel = cancelNone
 		p.deliverWake(false)
 	}
 }
@@ -183,13 +206,20 @@ func (p *Proc) Wake() {
 func (p *Proc) Interrupt() {
 	switch p.state {
 	case procParked:
-		if p.cancel != nil {
-			c := p.cancel
-			p.cancel = nil
-			c()
-			p.deliverWake(true)
-		} else {
+		switch p.cancel {
+		case cancelNone:
 			p.pendingInterrupt = true
+		case cancelTimer:
+			p.cancel = cancelNone
+			p.holdTimer.Stop()
+			p.deliverWake(true)
+		case cancelGate:
+			p.cancel = cancelNone
+			p.wait.gate.remove(&p.wait)
+			p.deliverWake(true)
+		case cancelPlain:
+			p.cancel = cancelNone
+			p.deliverWake(true)
 		}
 	case procWakePending, procRunning:
 		p.pendingInterrupt = true

@@ -5,16 +5,33 @@ package sim
 // Prio value (earliest deadline) starts next, FIFO among ties. Service is
 // uncancellable once started; interrupts delivered mid-service surface
 // after the request completes. The simulated CPU is a Server.
+//
+// The service hot path is allocation-free: completion callbacks are
+// bound once at construction and the in-flight request is carried in
+// Server fields rather than per-dispatch closures. The two completion
+// paths deliberately differ in ordering — a direct serve dispatches the
+// next request before waking its caller, while a queued completion wakes
+// the served process first — preserving the event order of the original
+// implementation bit for bit.
 type Server struct {
 	k     *Kernel
 	gate  *Gate
 	meter *BusyMeter
 	busy  bool
+
+	cur    *Waiting // queued entry currently in service
+	direct *Proc    // caller of an idle-server direct serve
+
+	completeQueuedFn func()
+	completeDirectFn func()
 }
 
 // NewServer returns an idle server.
 func NewServer(k *Kernel, name string) *Server {
-	return &Server{k: k, gate: NewGate(k, name), meter: NewBusyMeter(k)}
+	s := &Server{k: k, gate: NewGate(k, name), meter: NewBusyMeter(k)}
+	s.completeQueuedFn = s.completeQueued
+	s.completeDirectFn = s.completeDirect
+	return s
 }
 
 // Meter exposes the server's busy-time accounting.
@@ -33,18 +50,17 @@ func (s *Server) Use(p *Proc, prio float64, service float64) bool {
 		panic("sim: negative service time")
 	}
 	if !s.busy {
-		// Fast path: idle server, start service immediately. A Gate entry
-		// is still created so interrupt bookkeeping stays uniform.
-		return s.serve(p, prio, service)
+		// Fast path: idle server, start service immediately.
+		return s.serve(p, service)
 	}
-	ok := s.gate.Wait(p, prio, service)
+	ok := s.gate.WaitVal(p, prio, service)
 	// On a normal release the dispatcher has already accounted for our
 	// service; Wait returning is the completion signal.
 	return ok
 }
 
 // serve runs one service section for the calling process.
-func (s *Server) serve(p *Proc, prio float64, service float64) bool {
+func (s *Server) serve(p *Proc, service float64) bool {
 	s.busy = true
 	s.meter.SetBusy(true)
 	// Park the caller uncancellably for the service duration.
@@ -52,15 +68,19 @@ func (s *Server) serve(p *Proc, prio float64, service float64) bool {
 		s.finish()
 		return false
 	}
-	var w Waiting // detached entry, only for EndService bookkeeping
-	w.proc = p
-	w.inService = true
-	p.cancel = nil
-	s.k.At(service, func() {
-		s.finish()
-		w.proc.deliverWake(false)
-	})
+	p.cancel = cancelNone
+	s.direct = p
+	s.k.At(service, s.completeDirectFn)
 	return !p.park().interrupted
+}
+
+// completeDirect ends a direct serve: the server is freed (dispatching
+// the next queued request) before the served caller's wake is scheduled.
+func (s *Server) completeDirect() {
+	p := s.direct
+	s.direct = nil
+	s.finish()
+	p.deliverWake(false)
 }
 
 // finish marks the server idle and dispatches the next queued request.
@@ -70,30 +90,38 @@ func (s *Server) finish() {
 	s.dispatch()
 }
 
+// completeQueued ends a dispatched service: the served process's wake is
+// scheduled before the next request starts.
+func (s *Server) completeQueued() {
+	w := s.cur
+	s.cur = nil
+	s.busy = false
+	s.meter.SetBusy(false)
+	s.gate.EndService(w)
+	s.dispatch()
+}
+
 // dispatch starts service for the best queued request, if any.
 func (s *Server) dispatch() {
 	if s.busy {
 		return
 	}
 	var best *Waiting
-	for _, w := range s.gate.Waiters() {
-		if best == nil || w.Prio < best.Prio || (w.Prio == best.Prio && w.seq < best.seq) {
+	for w := s.gate.First(); w != nil; w = w.Next() {
+		// Arrival-order iteration makes strict < an exact FIFO tie-break.
+		if best == nil || w.Prio < best.Prio {
 			best = w
 		}
 	}
 	if best == nil {
 		return
 	}
-	service := best.Data.(float64)
+	service := best.Val
 	if !s.gate.BeginService(best) {
 		return
 	}
 	s.busy = true
 	s.meter.SetBusy(true)
-	s.k.At(service, func() {
-		s.busy = false
-		s.meter.SetBusy(false)
-		s.gate.EndService(best)
-		s.dispatch()
-	})
+	s.cur = best
+	s.k.At(service, s.completeQueuedFn)
 }

@@ -200,6 +200,79 @@ func TestGateStaleHandleIgnored(t *testing.T) {
 	k.Run(5)
 }
 
+func TestGateIterationArrivalOrder(t *testing.T) {
+	k := NewKernel()
+	g := NewGate(k, "adm")
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn("w", func(p *Proc) { g.WaitVal(p, 0, float64(i)) })
+	}
+	k.At(1, func() {
+		var got []float64
+		for w := g.First(); w != nil; w = w.Next() {
+			got = append(got, w.Val)
+		}
+		for i, v := range got {
+			if v != float64(i) {
+				t.Errorf("iteration order %v, want arrival order", got)
+				break
+			}
+		}
+		if len(got) != 4 {
+			t.Errorf("iterated %d waiters, want 4", len(got))
+		}
+		// Removing from the middle must keep the chain intact.
+		ws := g.Waiters()
+		g.Release(ws[1])
+		got = got[:0]
+		for w := g.First(); w != nil; w = w.Next() {
+			got = append(got, w.Val)
+		}
+		if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+			t.Errorf("after mid-release iteration %v, want [0 2 3]", got)
+		}
+	})
+	k.Drain()
+}
+
+func TestGateEntryRecycledAcrossWaits(t *testing.T) {
+	// A process's embedded wait entry is reused wait after wait; each
+	// re-queue must present fresh seq/payload and wire into the list.
+	k := NewKernel()
+	g := NewGate(k, "adm")
+	var rounds int
+	k.Spawn("w", func(p *Proc) {
+		for rounds = 0; rounds < 3; rounds++ {
+			if !g.Wait(p, float64(rounds), rounds) {
+				return
+			}
+		}
+	})
+	var seqs []uint64
+	release := func() {
+		w := g.First()
+		if w == nil {
+			t.Error("no waiter queued")
+			return
+		}
+		if w.Data.(int) != rounds {
+			t.Errorf("payload %v, want %d", w.Data, rounds)
+		}
+		seqs = append(seqs, w.Seq())
+		g.Release(w)
+	}
+	k.At(1, release)
+	k.At(2, release)
+	k.At(3, release)
+	k.Drain()
+	if rounds != 3 {
+		t.Fatalf("completed %d waits, want 3", rounds)
+	}
+	if len(seqs) != 3 || !(seqs[0] < seqs[1] && seqs[1] < seqs[2]) {
+		t.Fatalf("arrival seqs %v, want strictly increasing", seqs)
+	}
+}
+
 func TestGateServiceSection(t *testing.T) {
 	k := NewKernel()
 	g := NewGate(k, "disk")

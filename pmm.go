@@ -85,6 +85,9 @@ type (
 	PointResult = runner.PointResult
 	// Summary aggregates one point's replicates (mean ± CI per metric).
 	Summary = runner.Summary
+	// PairedSummary aggregates per-replicate policy-vs-policy deltas
+	// under common random numbers (mean ± CI of the differences).
+	PairedSummary = runner.PairedSummary
 	// Stat is one aggregated metric within a Summary.
 	Stat = runner.Stat
 	// ClassStat is one per-class aggregate within a Summary.
@@ -143,6 +146,16 @@ func RunMany(cfg Config, reps, workers int) ([]*Results, error) {
 // the given confidence level (0 defaults to 0.95).
 func Aggregate(runs []*Results, confidence float64) Summary {
 	return runner.Summarize(runs, confidence)
+}
+
+// AggregatePaired computes paired-difference statistics (a[r] − b[r]
+// per replicate, mean ± CI) for two equal-length replicate sets that ran
+// under common random numbers — typically the same sweep point under two
+// policies. Because shared seeds cancel workload noise within each pair,
+// the resulting interval on the policy gap is tighter than the two
+// marginal intervals; see PairedSummary. Mismatched lengths panic.
+func AggregatePaired(a, b []*Results, confidence float64) PairedSummary {
+	return runner.AggregatePaired(a, b, confidence)
 }
 
 // SweepAxis builds an Axis from typed values, a label function, and a
