@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"pmm/internal/exp"
+	"pmm/internal/prof"
 )
 
 func main() {
@@ -37,8 +38,21 @@ func main() {
 		reps    = flag.Int("reps", 1, "replicates per sweep point; > 1 reports mean ± CI cells")
 		workers = flag.Int("workers", 0, "max parallel simulations (0 = GOMAXPROCS)")
 		asJSON  = flag.Bool("json", false, "emit the reports as a JSON array instead of text tables")
+		profile = flag.String("cpuprofile", "", "write a CPU profile of the whole reproduction to this file (go tool pprof)")
 	)
 	flag.Parse()
+	stopProfile, err := prof.StartCPU(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfile()
+	// fail flushes the profile before exiting, since os.Exit skips defers.
+	fail := func(err error) {
+		stopProfile()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -50,8 +64,7 @@ func main() {
 	start := time.Now()
 	reports, err := exp.All(exp.Options{Seed: *seed, Quick: *quick, Horizon: *horizon, Reps: *reps, Workers: *workers})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	selected := reports[:0]
@@ -71,8 +84,7 @@ func main() {
 		enc := json.NewEncoder(&b)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(docs); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Print(b.String())
 	} else {
@@ -86,8 +98,7 @@ func main() {
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 }

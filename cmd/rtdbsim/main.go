@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"pmm"
+	"pmm/internal/prof"
 )
 
 func main() {
@@ -39,8 +40,21 @@ func main() {
 		workers = flag.Int("workers", 0, "max parallel simulations (0 = GOMAXPROCS)")
 		asJSON  = flag.Bool("json", false, "emit a JSON document with per-replicate and aggregated results")
 		conf    = flag.Float64("confidence", 0.95, "confidence level of aggregate intervals")
+		profile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (go tool pprof)")
 	)
 	flag.Parse()
+	stopProfile, err := prof.StartCPU(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfile()
+	// fail flushes the profile before exiting, since os.Exit skips defers.
+	fail := func(err error) {
+		stopProfile()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	var cfg pmm.Config
 	switch *preset {
@@ -55,6 +69,7 @@ func main() {
 	case "multiclass":
 		cfg = pmm.MulticlassConfig(*small)
 	default:
+		stopProfile()
 		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *preset)
 		os.Exit(2)
 	}
@@ -70,6 +85,7 @@ func main() {
 	case "fairpmm":
 		cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyFairPMM}
 	default:
+		stopProfile()
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
 		os.Exit(2)
 	}
@@ -95,8 +111,7 @@ func main() {
 
 	runs, err := pmm.RunMany(cfg, *reps, *workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	agg := pmm.Aggregate(runs, *conf)
 	res := runs[0]

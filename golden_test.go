@@ -63,3 +63,64 @@ func TestGoldenKernelDigests(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenPhaseShiftDigests pins the same digest contract for a
+// phase-shifting (dynamic arrival-rate) workload: three cycling phases
+// that ramp the class rate down, up, and off. The source processes drive
+// every phase boundary with their own re-draw holds, so this digest pins
+// the source-loop scheduling behaviour specifically — a migration of the
+// Poisson sources to a different process representation must reproduce
+// the exact hold/re-draw event sequence, not just static steady state.
+// Constants captured on the goroutine-proc kernel before the inline
+// scheduler landed.
+func TestGoldenPhaseShiftDigests(t *testing.T) {
+	golden := []struct {
+		name                               string
+		pol                                pmm.PolicyConfig
+		steps                              uint64
+		arrived, completed, missed, events int
+		missRatio                          string
+	}{
+		{"Max", pmm.PolicyConfig{Kind: pmm.PolicyMax}, 476020, 76, 41, 20, 61, "0.327868852459"},
+		{"PMM", pmm.PolicyConfig{Kind: pmm.PolicyPMM}, 670689, 76, 38, 21, 59, "0.355932203390"},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := pmm.BaselineConfig()
+			cfg.Seed = 42
+			cfg.Duration = 1500
+			cfg.Classes[0].ArrivalRate = 0.06
+			cfg.Phases = []pmm.Phase{
+				{Duration: 400, Rates: []float64{0.03}},
+				{Duration: 300, Rates: []float64{0.10}},
+				{Duration: 200, Rates: []float64{0}},
+			}
+			cfg.Policy = g.pol
+			sys, err := pmm.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := sys.Run()
+			if got := sys.Kernel().Steps(); got != g.steps {
+				t.Errorf("kernel steps = %d, want %d", got, g.steps)
+			}
+			if r.Arrived != g.arrived {
+				t.Errorf("arrived = %d, want %d", r.Arrived, g.arrived)
+			}
+			if r.Completed != g.completed {
+				t.Errorf("completed = %d, want %d", r.Completed, g.completed)
+			}
+			if r.Missed != g.missed {
+				t.Errorf("missed = %d, want %d", r.Missed, g.missed)
+			}
+			if got := len(r.Events); got != g.events {
+				t.Errorf("termination events = %d, want %d", got, g.events)
+			}
+			if got := fmt.Sprintf("%.12f", r.MissRatio); got != g.missRatio {
+				t.Errorf("miss ratio = %s, want %s", got, g.missRatio)
+			}
+		})
+	}
+}

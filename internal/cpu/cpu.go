@@ -67,5 +67,21 @@ func (c *CPU) Run(p *sim.Proc, prio float64, instructions float64) bool {
 	return c.server.Use(p, prio, c.Seconds(instructions))
 }
 
+// StartRun is the inline-process counterpart of Run: it enters the burst
+// without blocking. entered=true means the wait was entered and the
+// caller must park; the completion outcome arrives at its next step.
+// entered=false means the call finished immediately with result ok —
+// either a zero-instruction burst (ok=true) or a pending interrupt that
+// consumed the wait (ok=false).
+func (c *CPU) StartRun(t sim.Task, prio float64, instructions float64) (entered, ok bool) {
+	if instructions < 0 {
+		panic(fmt.Sprintf("cpu: negative instruction count %g", instructions))
+	}
+	if instructions == 0 {
+		return false, true
+	}
+	return c.server.StartUse(t, prio, c.Seconds(instructions)), false
+}
+
 // Meter exposes busy-time accounting for utilization measurements.
 func (c *CPU) Meter() *sim.BusyMeter { return c.server.Meter() }

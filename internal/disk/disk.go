@@ -70,8 +70,12 @@ func (p Params) MeanAccessTime(seekCylinders, pages int) float64 {
 	return p.SeekTime(seekCylinders) + p.RotationTime/2 + p.TransferTime(pages)
 }
 
-// request is one queued disk access.
-type request struct {
+// Request is one disk access record. The fields are internal; callers of
+// the inline Start access methods own a scratch Request (typically one
+// per executor, since a process has at most one access in flight) that
+// the disk fills and reads, so queueing an access never allocates. The
+// blocking path draws records from a per-disk pool instead.
+type Request struct {
 	cylinder int
 	pages    int
 	prio     float64
@@ -109,7 +113,7 @@ type Disk struct {
 	// Allocation-free service plumbing: requests are pooled and the
 	// completion callbacks are bound once, with the in-service entry
 	// carried in cur rather than captured in per-dispatch closures.
-	reqFree          []*request
+	reqFree          []*Request
 	cur              *sim.Waiting
 	completeQueuedFn func()
 	completeDirectFn func()
@@ -228,19 +232,19 @@ func (d *Disk) Served() uint64 { return d.served }
 func (d *Disk) QueueLen() int { return d.gate.Len() }
 
 // getReq takes a request record from the disk's pool.
-func (d *Disk) getReq() *request {
+func (d *Disk) getReq() *Request {
 	if n := len(d.reqFree) - 1; n >= 0 {
 		r := d.reqFree[n]
 		d.reqFree = d.reqFree[:n]
 		return r
 	}
-	return &request{}
+	return &Request{}
 }
 
 // putReq recycles a request record once nothing references it: after the
 // owning access call unwinds (queued path) or once its service time has
 // been computed (direct path).
-func (d *Disk) putReq(r *request) {
+func (d *Disk) putReq(r *Request) {
 	d.reqFree = append(d.reqFree, r)
 }
 
@@ -251,7 +255,7 @@ func (d *Disk) putReq(r *request) {
 // or mid-transfer (the transfer finishes first).
 func (d *Disk) Access(p *sim.Proc, prio float64, cylinder, pages int) bool {
 	req := d.getReq()
-	*req = request{cylinder: cylinder, pages: pages, prio: prio}
+	*req = Request{cylinder: cylinder, pages: pages, prio: prio}
 	return d.access(p, prio, req)
 }
 
@@ -262,22 +266,14 @@ func (d *Disk) Access(p *sim.Proc, prio float64, cylinder, pages int) bool {
 // tracked stream.
 func (d *Disk) AccessSeq(p *sim.Proc, prio float64, cylinder, pages int, file int64, fromPage int) bool {
 	req := d.getReq()
-	*req = request{
+	*req = Request{
 		cylinder: cylinder, pages: pages, prio: prio, file: file, page: fromPage,
 	}
 	return d.access(p, prio, req)
 }
 
-func (d *Disk) access(p *sim.Proc, prio float64, req *request) bool {
-	if req.pages <= 0 {
-		panic(fmt.Sprintf("disk: access of %d pages", req.pages))
-	}
-	if req.cylinder < 0 {
-		req.cylinder = 0
-	}
-	if req.cylinder >= d.params.NumCylinders {
-		req.cylinder = d.params.NumCylinders - 1
-	}
+func (d *Disk) access(p *sim.Proc, prio float64, req *Request) bool {
+	d.clamp(req)
 	if !d.busy {
 		// Idle disk: serve immediately. Queueing through the gate keeps
 		// interrupt semantics uniform but we can dispatch synchronously.
@@ -291,6 +287,60 @@ func (d *Disk) access(p *sim.Proc, prio float64, req *request) bool {
 	return ok
 }
 
+// clamp validates a request and confines it to the physical disk.
+func (d *Disk) clamp(req *Request) {
+	if req.pages <= 0 {
+		panic(fmt.Sprintf("disk: access of %d pages", req.pages))
+	}
+	if req.cylinder < 0 {
+		req.cylinder = 0
+	}
+	if req.cylinder >= d.params.NumCylinders {
+		req.cylinder = d.params.NumCylinders - 1
+	}
+}
+
+// StartAccess is the inline-process counterpart of Access: it enters a
+// non-sequential access without blocking, filling the caller-owned
+// scratch record req (which must stay untouched until the access
+// completes or is interrupted). It reports whether the wait was entered;
+// false means a pending interrupt consumed it — if the transfer had
+// already started on an idle disk it still completes on the disk's
+// timeline, exactly like an interrupt arriving mid-transfer. On true the
+// caller must park immediately; the completion outcome arrives at its
+// next step exactly as Access's return value.
+func (d *Disk) StartAccess(t sim.Task, prio float64, cylinder, pages int, req *Request) bool {
+	*req = Request{cylinder: cylinder, pages: pages, prio: prio}
+	return d.start(t, prio, req)
+}
+
+// StartAccessSeq is the inline-process counterpart of AccessSeq, with
+// the same caller-owned scratch record contract as StartAccess.
+func (d *Disk) StartAccessSeq(t sim.Task, prio float64, cylinder, pages int, file int64, fromPage int, req *Request) bool {
+	*req = Request{
+		cylinder: cylinder, pages: pages, prio: prio, file: file, page: fromPage,
+	}
+	return d.start(t, prio, req)
+}
+
+func (d *Disk) start(t sim.Task, prio float64, req *Request) bool {
+	d.clamp(req)
+	if !d.busy {
+		// Idle disk: serve immediately, exactly as serveDirect does for
+		// the blocking path — disk-side completion scheduled before the
+		// caller's hold timer. The request is fully consumed here, so the
+		// caller may reuse the scratch record as soon as it resumes.
+		d.busy = true
+		d.meter.SetBusy(true)
+		service := d.serviceTime(req)
+		d.k.At(service, d.completeDirectFn)
+		return t.StartHold(service)
+	}
+	// Queued: the scratch record backs the queue entry until dispatch
+	// reads its service parameters or an interrupt unlinks the entry.
+	return d.gate.Enqueue(t, prio, req, 0)
+}
+
 // maxStreams is how many concurrent sequential streams the 256 KB cache
 // can usefully read ahead for (≈5 blocks of 48 KB: two streams with a
 // couple of blocks of headroom each).
@@ -298,7 +348,7 @@ const maxStreams = 2
 
 // streamHit consults and updates the prefetch cache for a request. It
 // reports whether the request continues a tracked stream.
-func (d *Disk) streamHit(req *request) bool {
+func (d *Disk) streamHit(req *Request) bool {
 	if req.file == 0 {
 		return false
 	}
@@ -325,7 +375,7 @@ func (d *Disk) streamHit(req *request) bool {
 // before the caller resumes. If the caller is interrupted mid-transfer it
 // unwinds immediately, but the transfer itself still completes on the
 // disk's timeline.
-func (d *Disk) serveDirect(p *sim.Proc, req *request) bool {
+func (d *Disk) serveDirect(p *sim.Proc, req *Request) bool {
 	d.busy = true
 	d.meter.SetBusy(true)
 	service := d.serviceTime(req)
@@ -359,7 +409,7 @@ func (d *Disk) completeQueued() {
 // head. Requests continuing a tracked sequential stream cost only the
 // transfer (readahead hides seek and rotation); everything else pays
 // seek plus a uniform rotational delay plus transfer.
-func (d *Disk) serviceTime(req *request) float64 {
+func (d *Disk) serviceTime(req *Request) float64 {
 	hit := d.streamHit(req)
 	dist := req.cylinder - d.head
 	if dist < 0 {
@@ -398,7 +448,7 @@ func (d *Disk) dispatch() {
 	if best == nil {
 		return
 	}
-	req := best.Data.(*request)
+	req := best.Data.(*Request)
 	if !d.gate.BeginService(best) {
 		return
 	}
@@ -425,7 +475,7 @@ func (d *Disk) pickNext() *sim.Waiting {
 		if w.Prio != minPrio {
 			continue
 		}
-		req := w.Data.(*request)
+		req := w.Data.(*Request)
 		dist := req.cylinder - d.head
 		if !d.ascending {
 			dist = -dist

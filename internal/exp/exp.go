@@ -193,6 +193,39 @@ func cellCount(s pmm.Stat) string {
 	return fmt.Sprintf("%.0f", s.Mean)
 }
 
+// cellDeltaPct renders a paired-difference ratio stat as a signed
+// percentage delta; replicated runs append the confidence half-width, so
+// a policy gap whose interval excludes zero is a statistically
+// resolvable claim rather than an eyeballed one.
+func cellDeltaPct(s pmm.Stat) string {
+	if s.N > 1 {
+		return fmt.Sprintf("%+.1f±%.1f", 100*s.Mean, 100*s.HalfWidth)
+	}
+	return fmt.Sprintf("%+.1f", 100*s.Mean)
+}
+
+// missDelta pairs two sweep points run under common random numbers
+// (replicate r of both shares a seed) and returns the miss-ratio stat of
+// the per-replicate differences a − b. The shared seeds cancel the
+// workload noise within each pair, so the interval is far tighter than
+// the two marginal intervals in the neighbouring columns.
+func missDelta(a, b *pmm.PointResult) pmm.Stat {
+	return pmm.AggregatePaired(a.Reps, b.Reps, 0).MissRatio
+}
+
+// deltaColumn appends a paired-difference miss-ratio column to a
+// by-row-key metric report: for each row key, delta(key) must return the
+// two points to pair (minuend, subtrahend).
+func deltaColumn[K any](rep *Report, label string, keys []K, delta func(K) (a, b *pmm.PointResult)) {
+	rep.Header = append(rep.Header, label)
+	for i, key := range keys {
+		a, b := delta(key)
+		rep.Rows[i] = append(rep.Rows[i], cellDeltaPct(missDelta(a, b)))
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("%s: paired per-replicate miss-ratio difference under common random numbers; an interval excluding zero resolves the gap", label))
+}
+
 // All runs every experiment and returns the reports in paper order.
 func All(o Options) ([]*Report, error) {
 	var out []*Report

@@ -89,6 +89,43 @@ func TestWorkloadChangesDriverSmall(t *testing.T) {
 	}
 }
 
+// TestBaselineDeltaColumn pins the paired-difference column: fig3 must
+// carry a PMM−MinMax cell per rate, signed, and with a CI half-width
+// when replicated.
+func TestBaselineDeltaColumn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed driver")
+	}
+	reports, err := Baseline(Options{Seed: 1, Quick: true, Horizon: 600, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fig3 *Report
+	for _, r := range reports {
+		if r.ID == "fig3" {
+			fig3 = r
+		}
+	}
+	if fig3 == nil {
+		t.Fatal("no fig3 report")
+	}
+	if got := fig3.Header[len(fig3.Header)-1]; got != "PMM−MinMax" {
+		t.Fatalf("last column = %q, want the paired delta", got)
+	}
+	for _, row := range fig3.Rows {
+		cell := row[len(row)-1]
+		if len(row) != len(fig3.Header) {
+			t.Fatalf("row %v shorter than header", row)
+		}
+		if cell[0] != '+' && cell[0] != '-' {
+			t.Fatalf("delta cell %q not signed", cell)
+		}
+		if !strings.Contains(cell, "±") {
+			t.Fatalf("delta cell %q lacks a CI at reps=2", cell)
+		}
+	}
+}
+
 func TestRunAllParallelDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed driver")

@@ -37,6 +37,14 @@ func ExternalSorts(o Options) ([]*Report, error) {
 	}
 	rep.Notes = append(rep.Notes,
 		"paper: Max degrades much faster than in the join baseline (memory even more critical); PMM ≈ MinMax")
+	// "PMM ≈ MinMax" as a measured paired gap.
+	deltaColumn(rep, "PMM−MinMax", rates, func(rate float64) (*pmm.PointResult, *pmm.PointResult) {
+		get := func(pol pmm.PolicyConfig) *pmm.PointResult {
+			return pmm.FindPoint(points, "rate", gLabel(rate), "policy", policyLabel(pol))
+		}
+		return get(pmm.PolicyConfig{Kind: pmm.PolicyPMM}),
+			get(pmm.PolicyConfig{Kind: pmm.PolicyMinMax})
+	})
 	return []*Report{rep}, nil
 }
 
@@ -78,6 +86,11 @@ func Multiclass(o Options) ([]*Report, error) {
 	}
 	fig17.Notes = append(fig17.Notes,
 		"paper: PMM follows MinMax at low small-rates and drifts toward Max as Small queries dominate the averages")
+	// The fairness extension's system-level price, as a paired gap.
+	deltaColumn(fig17, "FairPMM−PMM", smallRates, func(sr float64) (*pmm.PointResult, *pmm.PointResult) {
+		return get(sr, pmm.PolicyConfig{Kind: pmm.PolicyFairPMM}),
+			get(sr, pmm.PolicyConfig{Kind: pmm.PolicyPMM})
+	})
 
 	fig18 := &Report{
 		ID:     "fig18",

@@ -8,6 +8,12 @@
 // at once. Merge-phase reads are single-page — the paper's disk prefetch
 // cache explicitly excludes the merge phase — while run formation and run
 // writing move data in blocks.
+//
+// The operator runs on the kernel's inline process representation: run
+// formation and merging are resumable frames (program counter + locals
+// promoted to fields), stepping through the identical sequence of CPU
+// bursts, disk transfers and memory waits as the original blocking
+// implementation.
 package extsort
 
 import (
@@ -15,6 +21,7 @@ import (
 
 	"pmm/internal/cpu"
 	"pmm/internal/query"
+	"pmm/internal/sim"
 )
 
 // MemoryNeeds returns the minimum and maximum workspace of an external
@@ -41,6 +48,16 @@ func New(tuplesPerPage, blockSize int) *Sort {
 	return &Sort{tpp: tuplesPerPage, blockSize: blockSize}
 }
 
+// Start builds the per-execution state and returns the root frame.
+func (op *Sort) Start(e *query.Exec) sim.Frame {
+	s := &sstate{e: e, op: op, open: make(map[*mergeFile]bool)}
+	s.fRun.s = s
+	s.fFormation.s = s
+	s.fEmit.s = s
+	s.fMerge.s = s
+	return &s.fRun
+}
+
 // mergeFile wraps a temp file with a reference count of the runs still
 // reading from it, so files are freed as soon as their last run drains.
 type mergeFile struct {
@@ -62,38 +79,30 @@ type run struct {
 	pages int
 }
 
-// sstate is per-execution sort state.
+// sstate is per-execution sort state: the shared data plus one reusable
+// frame per formerly-blocking function. No frame appears twice on the
+// stack: run → {formation|merge}, formation → emit, and the merge frame
+// only enters leaf reads/appends and the pacing/memory waits.
 type sstate struct {
 	e    *query.Exec
 	op   *Sort
 	runs []run
 	// open tracks every live merge file for cleanup on abort.
 	open map[*mergeFile]bool
-}
 
-// Run executes the sort; it returns false if aborted by the deadline.
-func (op *Sort) Run(e *query.Exec) bool {
-	s := &sstate{e: e, op: op, open: make(map[*mergeFile]bool)}
-	defer s.closeAll()
+	// Run-formation state shared between the formation and emit frames.
+	h        int        // current replacement-selection heap size
+	cur      *mergeFile // run under construction
+	runPages int        // pages emitted into cur
+	spooled  bool       // did any page reach disk?
+	// inMemory reports formation's outcome: the relation fit in memory
+	// as a single unwritten run.
+	inMemory bool
 
-	if !e.UseCPU(cpu.CostInitQuery) {
-		return false
-	}
-	inMemory, ok := s.formation()
-	if !ok {
-		return false
-	}
-	if inMemory {
-		// Single in-memory run: produce output directly.
-		if !e.UseCPU(float64(e.Q.R.Tuples) * cpu.CostSortCopy) {
-			return false
-		}
-		return e.UseCPU(cpu.CostTermQuery)
-	}
-	if !s.merge() {
-		return false
-	}
-	return e.UseCPU(cpu.CostTermQuery)
+	fRun       sortFrame
+	fFormation formationFrame
+	fEmit      emitFrame
+	fMerge     mergeFrame
 }
 
 func (s *sstate) closeAll() {
@@ -137,100 +146,176 @@ func (s *sstate) heapPages() int {
 	return h
 }
 
-// formation runs replacement selection over R. It returns inMemory=true
-// when the relation fit in memory as a single unwritten run.
-func (s *sstate) formation() (inMemory, ok bool) {
+// closeRun finishes the run under construction, if any.
+func (s *sstate) closeRun() {
+	if s.cur != nil {
+		s.runs = append(s.runs, run{file: s.cur, pages: s.cur.t.Written()})
+		s.cur = nil
+	}
+	s.runPages = 0
+}
+
+// callEmit enters a write of pages to the current run, opening one as
+// needed.
+func (s *sstate) callEmit(m *sim.Machine, pages int) sim.Status {
+	f := &s.fEmit
+	f.pages = pages
+	return m.Call(f)
+}
+
+type emitFrame struct {
+	sim.FrameState
+	s     *sstate
+	pages int
+}
+
+func (f *emitFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	s := f.s
+	switch f.PC {
+	case 0: // entry
+		if f.pages <= 0 {
+			return m.Return(true)
+		}
+		s.spooled = true
+		if s.cur == nil {
+			s.cur = s.newFile(2*s.h + s.op.blockSize)
+		}
+		f.PC = 1
+		return s.cur.t.CallAppend(m, s.e, f.pages, s.op.blockSize)
+	default: // append done
+		if !ok {
+			return m.Return(false)
+		}
+		s.runPages += f.pages
+		return m.Return(true)
+	}
+}
+
+// formationFrame runs replacement selection over R. Its result is ok;
+// sstate.inMemory reports whether the relation fit in memory as a single
+// unwritten run.
+type formationFrame struct {
+	sim.FrameState
+	s *sstate
+
+	heapFill int
+	read     int
+	n        int
+	nh       int
+}
+
+func (f *formationFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	s := f.s
 	e, bs := s.e, s.op.blockSize
 	r := e.Q.R
-	h := s.heapPages()
-	heapFill := 0
-	runPages := 0
-	var cur *mergeFile
-	spooled := false
-
-	closeRun := func() {
-		if cur != nil {
-			s.runs = append(s.runs, run{file: cur, pages: cur.t.Written()})
-			cur = nil
-		}
-		runPages = 0
-	}
-	// emit writes pages to the current run, opening one as needed.
-	emit := func(pages int) bool {
-		if pages <= 0 {
-			return true
-		}
-		spooled = true
-		if cur == nil {
-			cur = s.newFile(2*h + bs)
-		}
-		if !cur.t.Append(e, pages, bs) {
-			return false
-		}
-		runPages += pages
-		return true
-	}
-
-	for read := 0; read < r.Pages; {
-		// Adapt to allocation changes at each block boundary.
-		if e.Alloc() == 0 || e.WouldPace() {
-			// Suspended, or pacing at the bare minimum: flush the heap
-			// so the held pages are honest, then wait.
-			if !emit(heapFill) {
-				return false, false
+	for {
+		switch f.PC {
+		case 0: // entry
+			s.h = s.heapPages()
+			f.heapFill = 0
+			f.read = 0
+			f.PC = 1
+		case 1: // loop head: adapt to allocation changes at each block boundary
+			if f.read >= r.Pages {
+				f.PC = 9
+				continue
 			}
-			heapFill = 0
-			closeRun()
-			if !e.PaceAtMinimum() {
-				return false, false
+			if e.Alloc() == 0 || e.WouldPace() {
+				// Suspended, or pacing at the bare minimum: flush the heap
+				// so the held pages are honest, then wait.
+				f.PC = 2
+				return s.callEmit(m, f.heapFill)
 			}
-			h = s.heapPages()
-		}
-		if nh := s.heapPages(); nh != h {
-			if nh < heapFill {
-				// Heap shrank: evict the excess into the current run.
-				if !emit(heapFill - nh) {
-					return false, false
+			f.PC = 5
+		case 2: // suspension heap-flush done
+			if !ok {
+				return m.Return(false)
+			}
+			f.heapFill = 0
+			s.closeRun()
+			f.PC = 3
+			return e.CallPace(m)
+		case 3: // pacing done
+			if !ok {
+				return m.Return(false)
+			}
+			s.h = s.heapPages()
+			f.PC = 5
+		case 5: // heap-resize check
+			f.nh = s.heapPages()
+			if f.nh != s.h {
+				if f.nh < f.heapFill {
+					// Heap shrank: evict the excess into the current run.
+					f.PC = 6
+					return s.callEmit(m, f.heapFill-f.nh)
 				}
-				heapFill = nh
+				s.h = f.nh
 			}
-			h = nh
-		}
-		n := bs
-		if rem := r.Pages - read; rem < n {
-			n = rem
-		}
-		if !e.ReadRel(r, read, n, bs) {
-			return false, false
-		}
-		read += n
-		tuples := float64(n * s.op.tpp)
-		compares := cpu.CostCompare * math.Ceil(math.Log2(float64(maxInt(h*s.op.tpp, 2))))
-		if !e.UseCPU(tuples * (cpu.CostSortCopy + compares)) {
-			return false, false
-		}
-		if heapFill+n <= h {
-			heapFill += n // absorbed entirely
-			continue
-		}
-		out := heapFill + n - h
-		heapFill = h
-		if !emit(out) {
-			return false, false
-		}
-		if runPages >= 2*h {
-			closeRun()
+			f.PC = 7
+		case 6: // eviction emit done
+			if !ok {
+				return m.Return(false)
+			}
+			f.heapFill = f.nh
+			s.h = f.nh
+			f.PC = 7
+		case 7: // read a block
+			f.n = bs
+			if rem := r.Pages - f.read; rem < f.n {
+				f.n = rem
+			}
+			f.PC = 8
+			return e.CallReadRel(m, r, f.read, f.n, bs)
+		case 8: // block read: charge replacement selection
+			if !ok {
+				return m.Return(false)
+			}
+			f.read += f.n
+			tuples := float64(f.n * s.op.tpp)
+			compares := cpu.CostCompare * math.Ceil(math.Log2(float64(maxInt(s.h*s.op.tpp, 2))))
+			f.PC = 10
+			if entered, ok2 := e.StartCPU(tuples * (cpu.CostSortCopy + compares)); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 10: // selection charged
+			if !ok {
+				return m.Return(false)
+			}
+			if f.heapFill+f.n <= s.h {
+				f.heapFill += f.n // absorbed entirely
+				f.PC = 1
+				continue
+			}
+			out := f.heapFill + f.n - s.h
+			f.heapFill = s.h
+			f.PC = 11
+			return s.callEmit(m, out)
+		case 11: // overflow emit done
+			if !ok {
+				return m.Return(false)
+			}
+			if s.runPages >= 2*s.h {
+				s.closeRun()
+			}
+			f.PC = 1
+		case 9: // post-loop
+			if !s.spooled && f.heapFill == r.Pages {
+				s.inMemory = true
+				return m.Return(true)
+			}
+			// Drain the heap into the final run.
+			f.PC = 12
+			return s.callEmit(m, f.heapFill)
+		case 12: // final drain done
+			if !ok {
+				return m.Return(false)
+			}
+			s.closeRun()
+			return m.Return(true)
 		}
 	}
-	if !spooled && heapFill == r.Pages {
-		return true, true
-	}
-	// Drain the heap into the final run.
-	if !emit(heapFill) {
-		return false, false
-	}
-	closeRun()
-	return false, true
 }
 
 // fanIn returns the merge fan-in for the current allocation.
@@ -245,131 +330,265 @@ func (s *sstate) fanIn(nruns int) int {
 	return f
 }
 
-// merge repeatedly merges runs until one remains; the final merge
+// mergeFrame repeatedly merges runs until one remains; the final merge
 // produces output directly. Memory reductions split the executing step:
 // the partial output becomes a run and the unread input remainders are
 // re-planned with the smaller fan-in.
-func (s *sstate) merge() bool {
+type mergeFrame struct {
+	sim.FrameState
+	s *sstate
+
+	fanIn   int
+	final   bool
+	inputs  []run
+	rest    []run
+	total   int
+	outUnit int
+	out     *mergeFile
+	cursors []int
+	produced, pending,
+	active, next, i int
+	perPage float64
+	split   bool
+}
+
+func (f *mergeFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	s := f.s
 	e, bs := s.e, s.op.blockSize
-	for len(s.runs) > 1 {
-		if !e.PaceAtMinimum() {
-			return false
-		}
-		f := s.fanIn(len(s.runs))
-		final := f == len(s.runs)
-		// Merge the shortest runs first (fewest pages re-read over the
-		// remaining passes).
-		sortRunsByPages(s.runs)
-		inputs := make([]run, f)
-		copy(inputs, s.runs[:f])
-		rest := append([]run(nil), s.runs[f:]...)
+	for {
+		switch f.PC {
+		case 0: // outer loop head
+			if len(s.runs) <= 1 {
+				return m.Return(true)
+			}
+			f.PC = 1
+			return e.CallPace(m)
+		case 1: // paced: plan one merge step
+			if !ok {
+				return m.Return(false)
+			}
+			fi := s.fanIn(len(s.runs))
+			f.fanIn = fi
+			f.final = fi == len(s.runs)
+			// Merge the shortest runs first (fewest pages re-read over the
+			// remaining passes).
+			sortRunsByPages(s.runs)
+			f.inputs = make([]run, fi)
+			copy(f.inputs, s.runs[:fi])
+			f.rest = append([]run(nil), s.runs[fi:]...)
 
-		total := 0
-		for _, in := range inputs {
-			total += in.pages
-		}
-		outUnit := 1
-		if e.Alloc()-(f+1) >= bs {
-			outUnit = bs
-		}
-		var out *mergeFile
-		if !final {
-			out = s.newFile(total)
-		}
-		cursors := make([]int, f)
-		produced := 0
-		pending := 0 // output pages buffered toward the next write
-		active := f  // inputs with unread pages
-		cmp := cpu.CostCompare * math.Ceil(math.Log2(float64(maxInt(f, 2))))
-		perPage := float64(s.op.tpp) * (cmp + cpu.CostSortCopy)
-
-		next := 0 // round-robin input cursor
-		split := false
-		for produced < total {
+			f.total = 0
+			for _, in := range f.inputs {
+				f.total += in.pages
+			}
+			f.outUnit = 1
+			if e.Alloc()-(fi+1) >= bs {
+				f.outUnit = bs
+			}
+			f.out = nil
+			if !f.final {
+				f.out = s.newFile(f.total)
+			}
+			f.cursors = make([]int, fi)
+			f.produced = 0
+			f.pending = 0 // output pages buffered toward the next write
+			f.active = fi // inputs with unread pages
+			cmp := cpu.CostCompare * math.Ceil(math.Log2(float64(maxInt(fi, 2))))
+			f.perPage = float64(s.op.tpp) * (cmp + cpu.CostSortCopy)
+			f.next = 0 // round-robin input cursor
+			f.split = false
+			f.PC = 2
+		case 2: // page loop head
+			if f.produced >= f.total {
+				f.PC = 7
+				continue
+			}
 			// Re-check memory each page: splits happen at page
 			// granularity. The step survives as long as one buffer per
 			// still-active input plus an output buffer fit.
-			if alloc := e.Alloc(); alloc == 0 || alloc-1 < active {
-				split = true
-				break
+			if alloc := e.Alloc(); alloc == 0 || alloc-1 < f.active {
+				f.split = true
+				f.PC = 7
+				continue
 			}
 			// Advance to the next input with pages left.
-			for cursors[next%f] >= inputs[next%f].pages {
-				next++
+			for f.cursors[f.next%f.fanIn] >= f.inputs[f.next%f.fanIn].pages {
+				f.next++
 			}
-			i := next % f
-			in := &inputs[i]
-			if !in.file.t.Read(e, in.off+cursors[i], 1, 1) {
-				return false
+			f.i = f.next % f.fanIn
+			in := &f.inputs[f.i]
+			f.PC = 3
+			return in.file.t.CallRead(m, e, in.off+f.cursors[f.i], 1, 1)
+		case 3: // page read
+			if !ok {
+				return m.Return(false)
 			}
-			cursors[i]++
-			if cursors[i] == in.pages {
-				active--
+			f.cursors[f.i]++
+			if f.cursors[f.i] == f.inputs[f.i].pages {
+				f.active--
 			}
-			next++
-			if !e.UseCPU(perPage) {
-				return false
+			f.next++
+			f.PC = 4
+			if entered, ok2 := e.StartCPU(f.perPage); entered {
+				return sim.Park
+			} else {
+				ok = ok2
 			}
-			produced++
-			if !final {
-				pending++
-				if pending == outUnit || produced == total {
-					if !out.t.Append(e, pending, outUnit) {
-						return false
-					}
-					pending = 0
+		case 4: // page merged
+			if !ok {
+				return m.Return(false)
+			}
+			f.produced++
+			if !f.final {
+				f.pending++
+				if f.pending == f.outUnit || f.produced == f.total {
+					f.PC = 5
+					return f.out.t.CallAppend(m, e, f.pending, f.outUnit)
 				}
 			}
-		}
-
-		if split {
+			f.PC = 2
+		case 5: // output written
+			if !ok {
+				return m.Return(false)
+			}
+			f.pending = 0
+			f.PC = 2
+		case 7: // step ended: split or complete
+			if f.split {
+				f.PC = 8
+				continue
+			}
+			for _, in := range f.inputs {
+				s.release(in.file)
+			}
+			if f.final {
+				s.runs = nil
+				return m.Return(true)
+			}
+			s.runs = append(f.rest, run{file: f.out, pages: f.out.t.Written()})
+			f.PC = 0
+		case 8: // split: materialize the partial output
 			// The step can no longer fit: the partial output becomes a
 			// run of its own and the unread input remainders return to
 			// the pool — Pang93b's merge-step splitting.
-			if final && produced > 0 {
+			if f.final && f.produced > 0 {
 				// A final merge was producing output directly; to split
 				// it the partial result must be materialized after all.
-				out = s.newFile(total)
-				if !out.t.Append(e, produced, bs) {
-					return false
-				}
-			} else if !final && pending > 0 {
-				if !out.t.Append(e, pending, outUnit) {
-					return false
-				}
+				f.out = s.newFile(f.total)
+				f.PC = 9
+				return f.out.t.CallAppend(m, e, f.produced, bs)
 			}
+			if !f.final && f.pending > 0 {
+				f.PC = 9
+				return f.out.t.CallAppend(m, e, f.pending, f.outUnit)
+			}
+			f.PC = 10
+		case 9: // partial output written
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 10
+		case 10: // split: rebuild the run list
 			var newRuns []run
-			if out != nil && out.t.Written() > 0 {
-				newRuns = append(newRuns, run{file: out, pages: out.t.Written()})
-			} else if out != nil {
-				s.release(out)
+			if f.out != nil && f.out.t.Written() > 0 {
+				newRuns = append(newRuns, run{file: f.out, pages: f.out.t.Written()})
+			} else if f.out != nil {
+				s.release(f.out)
 			}
-			for i, in := range inputs {
-				if cursors[i] < in.pages {
-					newRuns = append(newRuns, run{file: in.file, off: in.off + cursors[i], pages: in.pages - cursors[i]})
+			for i, in := range f.inputs {
+				if f.cursors[i] < in.pages {
+					newRuns = append(newRuns, run{file: in.file, off: in.off + f.cursors[i], pages: in.pages - f.cursors[i]})
 				} else {
 					s.release(in.file)
 				}
 			}
-			s.runs = append(newRuns, rest...)
+			s.runs = append(newRuns, f.rest...)
 			if e.Alloc() == 0 {
-				if !e.WaitMemory() {
-					return false
-				}
+				f.PC = 11
+				return e.CallWaitMemory(m)
 			}
-			continue
+			f.PC = 0
+		case 11: // suspension wait done
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 0
 		}
-
-		for _, in := range inputs {
-			s.release(in.file)
-		}
-		if final {
-			s.runs = nil
-			return true
-		}
-		s.runs = append(rest, run{file: out, pages: out.t.Written()})
 	}
-	return true
+}
+
+// sortFrame is the root: init charge, formation, then either the
+// in-memory fast path or the merge phase, then the termination charge,
+// releasing all temporary files on every path (the frame-based
+// equivalent of the original defer).
+type sortFrame struct {
+	sim.FrameState
+	s *sstate
+}
+
+func (f *sortFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	s := f.s
+	e := s.e
+	for {
+		switch f.PC {
+		case 0: // entry
+			f.PC = 1
+			if entered, ok2 := e.StartCPU(cpu.CostInitQuery); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 1: // init charged
+			if !ok {
+				s.closeAll()
+				return m.Return(false)
+			}
+			f.PC = 2
+			return m.Call(&s.fFormation)
+		case 2: // formation done
+			if !ok {
+				s.closeAll()
+				return m.Return(false)
+			}
+			if s.inMemory {
+				// Single in-memory run: produce output directly.
+				f.PC = 3
+				if entered, ok2 := e.StartCPU(float64(e.Q.R.Tuples) * cpu.CostSortCopy); entered {
+					return sim.Park
+				} else {
+					ok = ok2
+				}
+				continue
+			}
+			f.PC = 5
+			return m.Call(&s.fMerge)
+		case 3: // in-memory output charged
+			if !ok {
+				s.closeAll()
+				return m.Return(false)
+			}
+			f.PC = 4
+			if entered, ok2 := e.StartCPU(cpu.CostTermQuery); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 4: // termination charged
+			s.closeAll()
+			return m.Return(ok)
+		case 5: // merge done
+			if !ok {
+				s.closeAll()
+				return m.Return(false)
+			}
+			f.PC = 4
+			if entered, ok2 := e.StartCPU(cpu.CostTermQuery); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		}
+	}
 }
 
 // sortRunsByPages orders runs ascending by size (insertion sort: run
@@ -380,13 +599,6 @@ func sortRunsByPages(rs []run) {
 			rs[j], rs[j-1] = rs[j-1], rs[j]
 		}
 	}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func maxInt(a, b int) int {

@@ -52,12 +52,21 @@ func newHarness(t *testing.T, rPages int) *harness {
 func (h *harness) run(alloc int) bool {
 	h.q.Alloc = alloc
 	var ok bool
-	h.q.Proc = h.k.Spawn("sort", func(p *sim.Proc) {
-		e := &query.Exec{Env: h.env, Q: h.q, P: p}
-		ok = New(testTPP, testBS).Run(e)
-	})
+	h.launch(&ok, nil)
 	h.k.Drain()
 	return ok
+}
+
+// launch starts the sort on an inline process, recording its result in
+// ok and, when finished is non-nil, the completion time.
+func (h *harness) launch(ok *bool, finished *float64) {
+	e := &query.Exec{Env: h.env, Q: h.q}
+	query.Launch(h.k, "sort", e, New(testTPP, testBS), func(r bool) {
+		*ok = r
+		if finished != nil {
+			*finished = h.k.Now()
+		}
+	})
 }
 
 func (h *harness) tempFree() int {
@@ -156,10 +165,7 @@ func TestMergeSplitOnMemoryLoss(t *testing.T) {
 	// sub-steps, and still complete.
 	h.k.At(12, func() { h.q.Alloc = 3 })
 	var ok bool
-	h.q.Proc = h.k.Spawn("sort", func(p *sim.Proc) {
-		e := &query.Exec{Env: h.env, Q: h.q, P: p}
-		ok = New(testTPP, testBS).Run(e)
-	})
+	h.launch(&ok, nil)
 	h.k.Drain()
 	if !ok {
 		t.Fatal("sort aborted after merge split")
@@ -178,11 +184,7 @@ func TestSuspensionAndResume(t *testing.T) {
 	})
 	var ok bool
 	var finished float64
-	h.q.Proc = h.k.Spawn("sort", func(p *sim.Proc) {
-		e := &query.Exec{Env: h.env, Q: h.q, P: p}
-		ok = New(testTPP, testBS).Run(e)
-		finished = p.Now()
-	})
+	h.launch(&ok, &finished)
 	h.k.Drain()
 	if !ok {
 		t.Fatal("sort aborted")
@@ -197,10 +199,7 @@ func TestAbortReleasesTemps(t *testing.T) {
 	free0 := h.tempFree()
 	h.q.Alloc = 10
 	var ok bool
-	h.q.Proc = h.k.Spawn("sort", func(p *sim.Proc) {
-		e := &query.Exec{Env: h.env, Q: h.q, P: p}
-		ok = New(testTPP, testBS).Run(e)
-	})
+	h.launch(&ok, nil)
 	h.k.At(4, func() { h.q.Proc.Interrupt() })
 	h.k.Drain()
 	if ok {

@@ -16,6 +16,11 @@
 // lockstep, so the simulation tracks the per-partition raw size once and
 // only distinguishes how many partitions are expanded — an exact model of
 // the symmetric case that keeps per-block work O(1).
+//
+// The operator runs on the kernel's inline process representation: each
+// phase of the original blocking implementation is a resumable frame
+// (program counter + locals promoted to fields), stepping through the
+// identical sequence of CPU bursts, disk transfers and memory waits.
 package join
 
 import (
@@ -23,6 +28,7 @@ import (
 
 	"pmm/internal/cpu"
 	"pmm/internal/query"
+	"pmm/internal/sim"
 )
 
 // NumPartitions returns the PPHJ partition count for an inner relation of
@@ -63,7 +69,27 @@ func New(f float64, tuplesPerPage, blockSize int) *PPHJ {
 	return &PPHJ{f: f, tpp: tuplesPerPage, blockSize: blockSize}
 }
 
-// jstate is the per-execution state of a join.
+// Start builds the per-execution state and returns the root frame.
+func (op *PPHJ) Start(e *query.Exec) sim.Frame {
+	s := &jstate{e: e, op: op, b: NumPartitions(e.Q.R.Pages, op.f)}
+	s.expanded = s.b // late contraction: start fully expanded
+	s.fRun.s = s
+	s.fBuild.s = s
+	s.fProbe.s = s
+	s.fCleanup.s = s
+	s.fAdapt.s = s
+	s.fFlush.s = s
+	s.fExpand.s = s
+	s.fReadBack.s = s
+	return &s.fRun
+}
+
+// jstate is the per-execution state of a join: the shared data the
+// original blocking implementation kept here, plus one reusable frame
+// per formerly-blocking function. No frame ever appears twice on the
+// stack: run → {build|probe|cleanup}, build/probe → adapt → pace,
+// probe → expand → readBack, and every spool flush runs to completion
+// before the next is entered.
 type jstate struct {
 	e  *query.Exec
 	op *PPHJ
@@ -84,22 +110,15 @@ type jstate struct {
 	rSpooled float64 // raw R pages on disk (excluding buffers)
 	sPending float64 // spooled S pages not yet joined
 	rReadCur int     // read cursor into rSpool for expansions
-}
 
-// Run executes the join; it returns false if the deadline interrupt
-// aborted it. All temporary files are released on every path.
-func (op *PPHJ) Run(e *query.Exec) bool {
-	s := &jstate{e: e, op: op, b: NumPartitions(e.Q.R.Pages, op.f)}
-	s.expanded = s.b // late contraction: start fully expanded
-	defer s.closeTemps()
-
-	if !e.UseCPU(cpu.CostInitQuery) {
-		return false
-	}
-	if !s.build() || !s.probe() || !s.cleanup() {
-		return false
-	}
-	return e.UseCPU(cpu.CostTermQuery)
+	fRun      runFrame
+	fBuild    buildFrame
+	fProbe    probeFrame
+	fCleanup  cleanupFrame
+	fAdapt    adaptFrame
+	fFlush    flushFrame
+	fExpand   expandFrame
+	fReadBack readBackFrame
 }
 
 func (s *jstate) closeTemps() {
@@ -118,170 +137,317 @@ func (s *jstate) memUse() float64 {
 	return 1 + float64(s.expanded)*s.op.f*s.perPartRaw + float64(s.b-s.expanded)
 }
 
-// contractOne spools the largest-footprint unit — one expanded partition —
-// to disk, freeing F·perPartRaw pages. Partitions whose raw pages still
-// sit validly in the spool (from an earlier expansion read-back) contract
-// for free; only never-spooled partitions pay the write.
-func (s *jstate) contractOne() bool {
+// contractPrep performs the synchronous part of contracting the
+// largest-footprint unit — one expanded partition — freeing F·perPartRaw
+// pages. It reports whether accrued spool pages must now be flushed:
+// partitions whose raw pages still sit validly in the spool (from an
+// earlier expansion read-back) contract for free; only never-spooled
+// partitions pay the write, which the caller performs via callFlushR.
+func (s *jstate) contractPrep() (needFlush bool) {
 	if s.expanded == 0 {
-		return true
+		return false
 	}
 	s.expanded--
 	if s.expandedOnDisk > 0 {
 		s.expandedOnDisk--
-		return true
+		return false
 	}
 	s.rBuf += s.perPartRaw
 	s.rSpooled += s.perPartRaw
-	return s.flushR(false)
+	return true
 }
 
-// flushR writes accrued R spool pages in block units; force drains the
-// sub-block remainder too.
-func (s *jstate) flushR(force bool) bool {
-	return s.flush(&s.rBuf, &s.rSpool, s.e.Q.R.Pages, force)
+// callFlushR enters a flush of accrued R spool pages in block units;
+// force drains the sub-block remainder too.
+func (s *jstate) callFlushR(m *sim.Machine, force bool) sim.Status {
+	f := &s.fFlush
+	f.buf, f.file, f.capacity, f.force = &s.rBuf, &s.rSpool, s.e.Q.R.Pages, force
+	return m.Call(f)
 }
 
-// flushS writes accrued S spool pages in block units.
-func (s *jstate) flushS(force bool) bool {
+// callFlushS enters a flush of accrued S spool pages in block units.
+func (s *jstate) callFlushS(m *sim.Machine, force bool) sim.Status {
 	capacity := s.e.Q.R.Pages
 	if s.e.Q.S != nil {
 		capacity = s.e.Q.S.Pages
 	}
-	return s.flush(&s.sBuf, &s.sSpool, capacity, force)
+	f := &s.fFlush
+	f.buf, f.file, f.capacity, f.force = &s.sBuf, &s.sSpool, capacity, force
+	return m.Call(f)
 }
 
-func (s *jstate) flush(buf *float64, file **query.TempFile, capacity int, force bool) bool {
+// flushFrame writes accrued spool pages in block units, opening the
+// spool file on first use.
+type flushFrame struct {
+	sim.FrameState
+	s        *jstate
+	buf      *float64
+	file     **query.TempFile
+	capacity int
+	force    bool
+
+	n int
+}
+
+func (f *flushFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	s := f.s
 	bs := s.op.blockSize
-	for int(*buf) >= bs || (force && *buf >= 0.5) {
-		n := bs
-		if int(*buf) < bs {
-			n = int(math.Round(*buf))
-			if n == 0 {
-				break
-			}
-		}
-		if *file == nil {
-			// Spool next to the relation being scanned: R-partition data
-			// beside R, spilled S tuples beside S.
-			rel := s.e.Q.R
-			if buf == &s.sBuf && s.e.Q.S != nil {
-				rel = s.e.Q.S
-			}
-			*file = s.e.CreateTemp(capacity, rel)
-		}
-		if !(*file).Append(s.e, n, bs) {
-			return false
-		}
-		*buf -= float64(n)
-	}
-	if force && *buf < 0.5 {
-		*buf = 0
-	}
-	return true
-}
-
-// adapt reconciles the join's footprint with its current allocation:
-// suspension spools everything and waits for memory; over-allocation
-// contracts partitions one at a time (late contraction).
-func (s *jstate) adapt() bool {
 	for {
-		alloc := s.e.Alloc()
-		if alloc == 0 {
-			for s.expanded > 0 {
-				if !s.contractOne() {
-					return false
+		switch f.PC {
+		case 0: // loop head
+			if !(int(*f.buf) >= bs || (f.force && *f.buf >= 0.5)) {
+				f.PC = 2
+				continue
+			}
+			n := bs
+			if int(*f.buf) < bs {
+				n = int(math.Round(*f.buf))
+				if n == 0 {
+					f.PC = 2
+					continue
 				}
 			}
-			if !s.flushR(true) || !s.flushS(true) {
-				return false
+			if *f.file == nil {
+				// Spool next to the relation being scanned: R-partition data
+				// beside R, spilled S tuples beside S.
+				rel := s.e.Q.R
+				if f.buf == &s.sBuf && s.e.Q.S != nil {
+					rel = s.e.Q.S
+				}
+				*f.file = s.e.CreateTemp(f.capacity, rel)
 			}
-			if !s.e.WaitMemory() {
-				return false
+			f.n = n
+			f.PC = 1
+			return (*f.file).CallAppend(m, s.e, n, bs)
+		case 1: // append done
+			if !ok {
+				return m.Return(false)
+			}
+			*f.buf -= float64(f.n)
+			f.PC = 0
+		case 2: // loop exited
+			if f.force && *f.buf < 0.5 {
+				*f.buf = 0
+			}
+			return m.Return(true)
+		}
+	}
+}
+
+// adaptFrame reconciles the join's footprint with its current
+// allocation: suspension spools everything and waits for memory;
+// over-allocation contracts partitions one at a time (late contraction).
+type adaptFrame struct {
+	sim.FrameState
+	s *jstate
+}
+
+func (f *adaptFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	s := f.s
+	e := s.e
+	for {
+		switch f.PC {
+		case 0: // outer loop head
+			if e.Alloc() == 0 {
+				f.PC = 2
+				continue
+			}
+			// The epsilon absorbs float accumulation error in perPartRaw: a
+			// fully expanded join at exactly its maximum must not contract.
+			if s.memUse() <= float64(e.Alloc())+1e-6 || s.expanded == 0 {
+				// Fits. Defer further work while stuck at the bare minimum
+				// with slack to spare (§3.2 deadline-driven pacing).
+				f.PC = 7
+				return e.CallPace(m)
+			}
+			if s.contractPrep() {
+				f.PC = 1
+				return s.callFlushR(m, false)
 			}
 			continue
-		}
-		// The epsilon absorbs float accumulation error in perPartRaw: a
-		// fully expanded join at exactly its maximum must not contract.
-		if s.memUse() <= float64(alloc)+1e-6 || s.expanded == 0 {
-			// Fits. Defer further work while stuck at the bare minimum
-			// with slack to spare (§3.2 deadline-driven pacing).
-			return s.e.PaceAtMinimum()
-		}
-		if !s.contractOne() {
-			return false
+		case 1: // contraction's flush done
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 0
+		case 2: // suspended: contract-everything loop head
+			if s.expanded > 0 {
+				if s.contractPrep() {
+					f.PC = 3
+					return s.callFlushR(m, false)
+				}
+				continue
+			}
+			f.PC = 4
+			return s.callFlushR(m, true)
+		case 3: // suspension contraction's flush done
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 2
+		case 4: // forced R flush done
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 5
+			return s.callFlushS(m, true)
+		case 5: // forced S flush done
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 6
+			return e.CallWaitMemory(m)
+		case 6: // admission wait done
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 0
+		case 7: // pacing done (tail position)
+			return m.Return(ok)
 		}
 	}
 }
 
-// build reads R, splitting it into partitions.
-func (s *jstate) build() bool {
+// buildFrame reads R, splitting it into partitions.
+type buildFrame struct {
+	sim.FrameState
+	s *jstate
+
+	read, n int
+}
+
+func (f *buildFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	s := f.s
 	e, bs := s.e, s.op.blockSize
 	r := e.Q.R
-	for read := 0; read < r.Pages; {
-		if !s.adapt() {
-			return false
-		}
-		n := bs
-		if rem := r.Pages - read; rem < n {
-			n = rem
-		}
-		if !e.ReadRel(r, read, n, bs) {
-			return false
-		}
-		read += n
-		s.perPartRaw += float64(n) / float64(s.b)
-		fE := float64(s.expanded) / float64(s.b)
-		tuples := float64(n * s.op.tpp)
-		instr := tuples * (fE*cpu.CostHashBuild + (1-fE)*cpu.CostHashCopy)
-		if !e.UseCPU(instr) {
-			return false
-		}
-		// Tuples headed to contracted partitions accrue toward spool flushes.
-		toDisk := (1 - fE) * float64(n)
-		s.rBuf += toDisk
-		s.rSpooled += toDisk
-		if !s.flushR(false) {
-			return false
+	for {
+		switch f.PC {
+		case 0: // entry
+			f.read = 0
+			f.PC = 1
+		case 1: // loop head
+			if f.read >= r.Pages {
+				return m.Return(true)
+			}
+			f.PC = 2
+			return m.Call(&s.fAdapt)
+		case 2: // adapted
+			if !ok {
+				return m.Return(false)
+			}
+			f.n = bs
+			if rem := r.Pages - f.read; rem < f.n {
+				f.n = rem
+			}
+			f.PC = 3
+			return e.CallReadRel(m, r, f.read, f.n, bs)
+		case 3: // block read
+			if !ok {
+				return m.Return(false)
+			}
+			f.read += f.n
+			s.perPartRaw += float64(f.n) / float64(s.b)
+			fE := float64(s.expanded) / float64(s.b)
+			tuples := float64(f.n * s.op.tpp)
+			instr := tuples * (fE*cpu.CostHashBuild + (1-fE)*cpu.CostHashCopy)
+			f.PC = 4
+			if entered, ok2 := e.StartCPU(instr); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 4: // block hashed
+			if !ok {
+				return m.Return(false)
+			}
+			// Tuples headed to contracted partitions accrue toward spool flushes.
+			fE := float64(s.expanded) / float64(s.b)
+			toDisk := (1 - fE) * float64(f.n)
+			s.rBuf += toDisk
+			s.rSpooled += toDisk
+			f.PC = 5
+			return s.callFlushR(m, false)
+		case 5: // spool flushed
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 1
 		}
 	}
-	return true
 }
 
-// probe reads S; tuples hashing to expanded partitions join directly,
-// the rest are spooled. Extra memory triggers late expansion.
-func (s *jstate) probe() bool {
+// probeFrame reads S; tuples hashing to expanded partitions join
+// directly, the rest are spooled. Extra memory triggers late expansion.
+type probeFrame struct {
+	sim.FrameState
+	s *jstate
+
+	read, n int
+	fE      float64
+}
+
+func (f *probeFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	s := f.s
 	e, bs := s.e, s.op.blockSize
 	out := e.Q.S
-	for read := 0; read < out.Pages; {
-		if !s.adapt() {
-			return false
-		}
-		if !s.maybeExpand(out.Pages - read) {
-			return false
-		}
-		n := bs
-		if rem := out.Pages - read; rem < n {
-			n = rem
-		}
-		if !e.ReadRel(out, read, n, bs) {
-			return false
-		}
-		read += n
-		fE := float64(s.expanded) / float64(s.b)
-		tuples := float64(n * s.op.tpp)
-		instr := tuples * (fE*(cpu.CostHashProbe+cpu.CostHashCopy) + (1-fE)*cpu.CostHashCopy)
-		if !e.UseCPU(instr) {
-			return false
-		}
-		toDisk := (1 - fE) * float64(n)
-		s.sBuf += toDisk
-		s.sPending += toDisk
-		if !s.flushS(false) {
-			return false
+	for {
+		switch f.PC {
+		case 0: // entry
+			f.read = 0
+			f.PC = 1
+		case 1: // loop head
+			if f.read >= out.Pages {
+				return m.Return(true)
+			}
+			f.PC = 2
+			return m.Call(&s.fAdapt)
+		case 2: // adapted
+			if !ok {
+				return m.Return(false)
+			}
+			s.fExpand.sRemaining = out.Pages - f.read
+			f.PC = 3
+			return m.Call(&s.fExpand)
+		case 3: // expansion considered
+			if !ok {
+				return m.Return(false)
+			}
+			f.n = bs
+			if rem := out.Pages - f.read; rem < f.n {
+				f.n = rem
+			}
+			f.PC = 4
+			return e.CallReadRel(m, out, f.read, f.n, bs)
+		case 4: // block read
+			if !ok {
+				return m.Return(false)
+			}
+			f.read += f.n
+			f.fE = float64(s.expanded) / float64(s.b)
+			tuples := float64(f.n * s.op.tpp)
+			instr := tuples * (f.fE*(cpu.CostHashProbe+cpu.CostHashCopy) + (1-f.fE)*cpu.CostHashCopy)
+			f.PC = 5
+			if entered, ok2 := e.StartCPU(instr); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 5: // block probed
+			if !ok {
+				return m.Return(false)
+			}
+			toDisk := (1 - f.fE) * float64(f.n)
+			s.sBuf += toDisk
+			s.sPending += toDisk
+			f.PC = 6
+			return s.callFlushS(m, false)
+		case 6: // spool flushed
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 1
 		}
 	}
-	return true
 }
 
 // expandHysteresis discounts the projected benefit of a late expansion
@@ -292,116 +458,304 @@ func (s *jstate) probe() bool {
 // more than the one-time read-back it avoids.
 const expandHysteresis = 1.0
 
-// maybeExpand performs late expansion: while spare memory can hold
+// expandFrame performs late expansion: while spare memory can hold
 // another partition's hash table and enough of S remains for the saved
 // spooling to clearly outweigh the read-back cost, a contracted
 // partition is brought back. Its already-spooled S share is joined
 // immediately so the partition is fully live afterwards.
-func (s *jstate) maybeExpand(sRemaining int) bool {
-	for s.expanded < s.b {
-		spare := float64(s.e.Alloc()) - s.memUse() + 1e-6
-		// Expanding turns one output buffer into a hash table.
-		need := s.op.f*s.perPartRaw - 1
-		if spare < need {
-			return true
-		}
-		// Benefit: future S pages of this partition that would spool.
-		benefit := float64(sRemaining) / float64(s.b)
-		contracted := float64(s.b - s.expanded)
-		sShare := s.sPending / contracted
-		cost := s.perPartRaw + sShare
-		if benefit <= expandHysteresis*cost {
-			return true
-		}
-		if !s.readBackPartition(sShare) {
-			return false
-		}
-	}
-	return true
+type expandFrame struct {
+	sim.FrameState
+	s          *jstate
+	sRemaining int
 }
 
-// readBackPartition reads one partition's raw pages (and its spooled S
+func (f *expandFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	s := f.s
+	for {
+		switch f.PC {
+		case 0: // loop head
+			if s.expanded >= s.b {
+				return m.Return(true)
+			}
+			spare := float64(s.e.Alloc()) - s.memUse() + 1e-6
+			// Expanding turns one output buffer into a hash table.
+			need := s.op.f*s.perPartRaw - 1
+			if spare < need {
+				return m.Return(true)
+			}
+			// Benefit: future S pages of this partition that would spool.
+			benefit := float64(f.sRemaining) / float64(s.b)
+			contracted := float64(s.b - s.expanded)
+			sShare := s.sPending / contracted
+			cost := s.perPartRaw + sShare
+			if benefit <= expandHysteresis*cost {
+				return m.Return(true)
+			}
+			s.fReadBack.sShare = sShare
+			f.PC = 1
+			return m.Call(&s.fReadBack)
+		case 1: // partition read back
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 0
+		}
+	}
+}
+
+// readBackFrame reads one partition's raw pages (and its spooled S
 // share) back from the spool files, charging build and probe CPU.
-func (s *jstate) readBackPartition(sShare float64) bool {
-	e := s.e
-	rPages := int(math.Round(s.perPartRaw))
-	if rPages > 0 && s.rSpool != nil {
-		from := s.rReadCur % maxInt(s.rSpool.Written(), 1)
-		n := minInt(rPages, s.rSpool.Written())
-		if n > 0 {
-			if from+n > s.rSpool.Written() {
-				from = 0
-			}
-			if !s.rSpool.Read(e, from, n, s.op.blockSize) {
-				return false
-			}
-			s.rReadCur += n
-		}
-		if !e.UseCPU(float64(rPages*s.op.tpp) * cpu.CostHashBuild) {
-			return false
-		}
-	}
-	sPages := int(math.Round(sShare))
-	if sPages > 0 && s.sSpool != nil {
-		n := minInt(sPages, s.sSpool.Written())
-		if n > 0 {
-			if !s.sSpool.Read(e, 0, n, s.op.blockSize) {
-				return false
-			}
-		}
-		if !e.UseCPU(float64(sPages*s.op.tpp) * (cpu.CostHashProbe + cpu.CostHashCopy)) {
-			return false
-		}
-		s.sPending -= sShare
-		if s.sPending < 0 {
-			s.sPending = 0
-		}
-	}
-	s.expanded++
-	s.expandedOnDisk++
-	return true
+type readBackFrame struct {
+	sim.FrameState
+	s      *jstate
+	sShare float64
+
+	rPages, sPages, n int
 }
 
-// cleanup joins the contracted partitions pair by pair: read the R
-// partition, rebuild its table, then stream its spooled S share.
-func (s *jstate) cleanup() bool {
+func (f *readBackFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	s := f.s
 	e := s.e
-	if !s.flushR(true) || !s.flushS(true) {
-		return false
-	}
-	contracted := s.b - s.expanded
-	if contracted == 0 {
-		return true
-	}
-	rShare := s.perPartRaw
-	sShare := s.sPending / float64(contracted)
-	rOff, sOff := 0, 0
-	for i := 0; i < contracted; i++ {
-		if !e.PaceAtMinimum() {
-			return false
+	for {
+		switch f.PC {
+		case 0: // entry: R read-back
+			f.rPages = int(math.Round(s.perPartRaw))
+			if f.rPages > 0 && s.rSpool != nil {
+				from := s.rReadCur % maxInt(s.rSpool.Written(), 1)
+				f.n = minInt(f.rPages, s.rSpool.Written())
+				if f.n > 0 {
+					if from+f.n > s.rSpool.Written() {
+						from = 0
+					}
+					f.PC = 1
+					return s.rSpool.CallRead(m, e, from, f.n, s.op.blockSize)
+				}
+				f.PC = 2
+				if entered, ok2 := e.StartCPU(float64(f.rPages*s.op.tpp) * cpu.CostHashBuild); entered {
+					return sim.Park
+				} else {
+					ok = ok2
+				}
+				continue
+			}
+			f.PC = 3
+		case 1: // R pages read
+			if !ok {
+				return m.Return(false)
+			}
+			s.rReadCur += f.n
+			f.PC = 2
+			if entered, ok2 := e.StartCPU(float64(f.rPages*s.op.tpp) * cpu.CostHashBuild); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 2: // R rebuild charged
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 3
+		case 3: // S read-back
+			f.sPages = int(math.Round(f.sShare))
+			if f.sPages > 0 && s.sSpool != nil {
+				f.n = minInt(f.sPages, s.sSpool.Written())
+				if f.n > 0 {
+					f.PC = 4
+					return s.sSpool.CallRead(m, e, 0, f.n, s.op.blockSize)
+				}
+				f.PC = 5
+				if entered, ok2 := e.StartCPU(float64(f.sPages*s.op.tpp) * (cpu.CostHashProbe + cpu.CostHashCopy)); entered {
+					return sim.Park
+				} else {
+					ok = ok2
+				}
+				continue
+			}
+			f.PC = 6
+		case 4: // S pages read
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 5
+			if entered, ok2 := e.StartCPU(float64(f.sPages*s.op.tpp) * (cpu.CostHashProbe + cpu.CostHashCopy)); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 5: // S re-probe charged
+			if !ok {
+				return m.Return(false)
+			}
+			s.sPending -= f.sShare
+			if s.sPending < 0 {
+				s.sPending = 0
+			}
+			f.PC = 6
+		case 6: // done
+			s.expanded++
+			s.expandedOnDisk++
+			return m.Return(true)
 		}
-		rPages := pagesFor(rShare, rOff, spoolWritten(s.rSpool))
-		if rPages > 0 {
-			if !s.rSpool.Read(e, rOff, rPages, s.op.blockSize) {
-				return false
+	}
+}
+
+// cleanupFrame joins the contracted partitions pair by pair: read the R
+// partition, rebuild its table, then stream its spooled S share.
+type cleanupFrame struct {
+	sim.FrameState
+	s *jstate
+
+	contracted     int
+	rShare, sShare float64
+	rOff, sOff     int
+	i              int
+	rPages, sPages int
+}
+
+func (f *cleanupFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	s := f.s
+	e := s.e
+	for {
+		switch f.PC {
+		case 0: // entry
+			f.PC = 1
+			return s.callFlushR(m, true)
+		case 1: // R flushed
+			if !ok {
+				return m.Return(false)
 			}
-			rOff += rPages
-			if !e.UseCPU(float64(rPages*s.op.tpp) * cpu.CostHashBuild) {
-				return false
+			f.PC = 2
+			return s.callFlushS(m, true)
+		case 2: // S flushed
+			if !ok {
+				return m.Return(false)
 			}
-		}
-		sPages := pagesFor(sShare, sOff, spoolWritten(s.sSpool))
-		if sPages > 0 {
-			if !s.sSpool.Read(e, sOff, sPages, s.op.blockSize) {
-				return false
+			f.contracted = s.b - s.expanded
+			if f.contracted == 0 {
+				return m.Return(true)
 			}
-			sOff += sPages
-			if !e.UseCPU(float64(sPages*s.op.tpp) * (cpu.CostHashProbe + cpu.CostHashCopy)) {
-				return false
+			f.rShare = s.perPartRaw
+			f.sShare = s.sPending / float64(f.contracted)
+			f.rOff, f.sOff = 0, 0
+			f.i = 0
+			f.PC = 3
+		case 3: // loop head: next contracted partition
+			if f.i >= f.contracted {
+				return m.Return(true)
 			}
+			f.PC = 4
+			return e.CallPace(m)
+		case 4: // paced
+			if !ok {
+				return m.Return(false)
+			}
+			f.rPages = pagesFor(f.rShare, f.rOff, spoolWritten(s.rSpool))
+			if f.rPages > 0 {
+				f.PC = 5
+				return s.rSpool.CallRead(m, e, f.rOff, f.rPages, s.op.blockSize)
+			}
+			f.PC = 7
+		case 5: // R share read
+			if !ok {
+				return m.Return(false)
+			}
+			f.rOff += f.rPages
+			f.PC = 6
+			if entered, ok2 := e.StartCPU(float64(f.rPages*s.op.tpp) * cpu.CostHashBuild); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 6: // R rebuild charged
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 7
+		case 7: // S share
+			f.sPages = pagesFor(f.sShare, f.sOff, spoolWritten(s.sSpool))
+			if f.sPages > 0 {
+				f.PC = 8
+				return s.sSpool.CallRead(m, e, f.sOff, f.sPages, s.op.blockSize)
+			}
+			f.i++
+			f.PC = 3
+		case 8: // S share read
+			if !ok {
+				return m.Return(false)
+			}
+			f.sOff += f.sPages
+			f.PC = 9
+			if entered, ok2 := e.StartCPU(float64(f.sPages*s.op.tpp) * (cpu.CostHashProbe + cpu.CostHashCopy)); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 9: // S stream charged
+			if !ok {
+				return m.Return(false)
+			}
+			f.i++
+			f.PC = 3
 		}
 	}
-	return true
+}
+
+// runFrame is the root: init charge, build, probe, cleanup, termination
+// charge, releasing all temporary files on every path (the frame-based
+// equivalent of the original defer).
+type runFrame struct {
+	sim.FrameState
+	s *jstate
+}
+
+func (f *runFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	s := f.s
+	for {
+		switch f.PC {
+		case 0: // entry
+			f.PC = 1
+			if entered, ok2 := s.e.StartCPU(cpu.CostInitQuery); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 1: // init charged
+			if !ok {
+				s.closeTemps()
+				return m.Return(false)
+			}
+			f.PC = 2
+			return m.Call(&s.fBuild)
+		case 2: // built
+			if !ok {
+				s.closeTemps()
+				return m.Return(false)
+			}
+			f.PC = 3
+			return m.Call(&s.fProbe)
+		case 3: // probed
+			if !ok {
+				s.closeTemps()
+				return m.Return(false)
+			}
+			f.PC = 4
+			return m.Call(&s.fCleanup)
+		case 4: // cleaned up
+			if !ok {
+				s.closeTemps()
+				return m.Return(false)
+			}
+			f.PC = 5
+			if entered, ok2 := s.e.StartCPU(cpu.CostTermQuery); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 5: // termination charged
+			s.closeTemps()
+			return m.Return(ok)
+		}
+	}
 }
 
 // pagesFor converts a fractional per-partition share into whole pages,

@@ -59,12 +59,21 @@ func newHarness(t *testing.T, rPages, sPages int) *harness {
 func (h *harness) run(alloc int) bool {
 	h.q.Alloc = alloc
 	var ok bool
-	h.q.Proc = h.k.Spawn("join", func(p *sim.Proc) {
-		e := &query.Exec{Env: h.env, Q: h.q, P: p}
-		ok = New(testF, testTPP, testBS).Run(e)
-	})
+	h.launch(&ok, nil)
 	h.k.Drain()
 	return ok
+}
+
+// launch starts the join on an inline process, recording its result in
+// ok and, when finished is non-nil, the completion time.
+func (h *harness) launch(ok *bool, finished *float64) {
+	e := &query.Exec{Env: h.env, Q: h.q}
+	query.Launch(h.k, "join", e, New(testF, testTPP, testBS), func(r bool) {
+		*ok = r
+		if finished != nil {
+			*finished = h.k.Now()
+		}
+	})
 }
 
 func (h *harness) tempFree() int {
@@ -146,10 +155,7 @@ func TestContractionMidBuild(t *testing.T) {
 	// Drop to min after some build progress.
 	h.k.At(0.5, func() { h.q.Alloc = h.q.MinMem })
 	var ok bool
-	h.q.Proc = h.k.Spawn("join", func(p *sim.Proc) {
-		e := &query.Exec{Env: h.env, Q: h.q, P: p}
-		ok = New(testF, testTPP, testBS).Run(e)
-	})
+	h.launch(&ok, nil)
 	h.k.Drain()
 	if !ok {
 		t.Fatal("join aborted")
@@ -172,11 +178,7 @@ func TestSuspensionAndResume(t *testing.T) {
 	})
 	var ok bool
 	var finished float64
-	h.q.Proc = h.k.Spawn("join", func(p *sim.Proc) {
-		e := &query.Exec{Env: h.env, Q: h.q, P: p}
-		ok = New(testF, testTPP, testBS).Run(e)
-		finished = p.Now()
-	})
+	h.launch(&ok, &finished)
 	h.k.Drain()
 	if !ok {
 		t.Fatal("join aborted")
@@ -191,10 +193,7 @@ func TestAbortReleasesTemps(t *testing.T) {
 	free0 := h.tempFree()
 	h.q.Alloc = h.q.MinMem // force spooling so temps exist
 	var ok bool
-	h.q.Proc = h.k.Spawn("join", func(p *sim.Proc) {
-		e := &query.Exec{Env: h.env, Q: h.q, P: p}
-		ok = New(testF, testTPP, testBS).Run(e)
-	})
+	h.launch(&ok, nil)
 	h.k.At(2, func() { h.q.Proc.Interrupt() })
 	h.k.Drain()
 	if ok {
@@ -218,10 +217,7 @@ func TestExpansionRecoversAfterEarlyContraction(t *testing.T) {
 		}
 	})
 	var ok bool
-	h.q.Proc = h.k.Spawn("join", func(p *sim.Proc) {
-		e := &query.Exec{Env: h.env, Q: h.q, P: p}
-		ok = New(testF, testTPP, testBS).Run(e)
-	})
+	h.launch(&ok, nil)
 	h.k.Drain()
 	if !ok {
 		t.Fatal("join aborted")

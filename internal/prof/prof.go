@@ -1,0 +1,31 @@
+// Package prof is the tiny profiling hookup shared by the command-line
+// tools: it turns a -cpuprofile flag value into a running CPU profile,
+// so kernel-level performance work can profile real simulation workloads
+// (go tool pprof) without editing code or writing throwaway harnesses.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns the stop
+// function that flushes and closes it. An empty path is a no-op.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}

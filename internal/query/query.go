@@ -5,6 +5,15 @@
 // resources at their ED priority, and temporary-file plumbing for
 // spooled partitions and sort runs.
 //
+// Query execution runs on the kernel's inline process representation:
+// operators are resumable state machines (sim.Frame) rather than
+// blocking goroutine bodies, so a query turn costs a function call
+// instead of two goroutine channel handoffs. Exec provides the leaf
+// waits (StartCPU and the disk transfers inside the Call* frames) and
+// reusable child frames for the common blocking compounds; all of them
+// reproduce the event sequence of the original blocking implementation
+// bit for bit.
+//
 // Memory adaptation is pull-based: the allocator updates Query.Alloc and
 // operators observe the new value at their next step boundary (one block
 // of processing), contracting or expanding exactly as the paper's
@@ -74,7 +83,7 @@ type Query struct {
 	// IOCount is the number of disk requests this query issued.
 	IOCount int
 	// Proc is the simulation process executing the query.
-	Proc *sim.Proc
+	Proc sim.Task
 }
 
 // Prio returns the query's Earliest Deadline priority: its deadline.
@@ -94,7 +103,7 @@ type Env struct {
 	// IOBreakdown tallies pages moved by category across all queries.
 	IOBreakdown IOStats
 
-	// PaceFactor > 0 enables deadline-driven pacing (see PaceAtMinimum):
+	// PaceFactor > 0 enables deadline-driven pacing (see CallPace):
 	// a query at its bare minimum allocation defers work until its
 	// remaining time falls below PaceFactor × (two-pass estimate).
 	// 0 disables pacing: queries always process with whatever memory
@@ -113,38 +122,80 @@ type IOStats struct {
 	SpoolRead  int64 // temp pages read back (expansion, cleanup, merging)
 }
 
-// Exec is the per-query execution context.
+// Exec is the per-query execution context. It owns the query's one
+// in-flight disk request record and the reusable child frames for the
+// blocking compounds, so the execution hot path never allocates.
 type Exec struct {
 	*Env
 	Q *Query
-	P *sim.Proc
+	P sim.Task
+
+	// req is the scratch record backing the single disk access this
+	// query can have in flight.
+	req disk.Request
+
+	// Reusable child frames. Each is configured and (re)entered through
+	// its Call* method; none ever appears twice on the frame stack.
+	frWaitMem waitMemFrame
+	frPace    paceFrame
+	frReadRel readRelFrame
+	frAppend  appendFrame
+	frRead    readTempFrame
 }
 
 // Alloc returns the query's current memory grant in pages.
 func (e *Exec) Alloc() int { return e.Q.Alloc }
 
-// UseCPU charges instructions at the query's ED priority. It returns
-// false if the query was interrupted (deadline expiry).
-func (e *Exec) UseCPU(instructions float64) bool {
-	return e.CPU.Run(e.P, e.Q.Prio(), instructions)
+// StartCPU enters a CPU burst of the given instruction count at the
+// query's ED priority, without blocking. entered=true means the frame
+// must park (return sim.Park); the outcome of the burst arrives at its
+// next Step. entered=false means the burst finished immediately with
+// result ok — a zero-instruction burst, or false for a deadline
+// interrupt that consumed the wait.
+func (e *Exec) StartCPU(instructions float64) (entered, ok bool) {
+	return e.CPU.StartRun(e.P, e.Q.Prio(), instructions)
 }
 
-// WaitMemory parks until the controller grants the query memory
-// (Alloc > 0). It is both the admission wait and the suspension wait.
-// It returns false when the deadline interrupt arrives first.
-func (e *Exec) WaitMemory() bool {
-	for e.Q.Alloc == 0 {
-		e.Q.WantMem = e.Q.MinMem
-		ok := e.P.Park()
-		e.Q.WantMem = 0
-		if !ok {
-			return false
+// CallWaitMemory enters the admission/suspension wait as a child frame:
+// it parks until the controller grants the query memory (Alloc > 0).
+// The frame's result is false when the deadline interrupt arrives first.
+func (e *Exec) CallWaitMemory(m *sim.Machine) sim.Status {
+	f := &e.frWaitMem
+	f.e = e
+	return m.Call(f)
+}
+
+// waitMemFrame: for Alloc == 0 { WantMem = MinMem; park; WantMem = 0 }.
+type waitMemFrame struct {
+	sim.FrameState
+	e *Exec
+}
+
+func (f *waitMemFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	e := f.e
+	for {
+		switch f.PC {
+		case 0: // loop head
+			if e.Q.Alloc != 0 {
+				return m.Return(true)
+			}
+			e.Q.WantMem = e.Q.MinMem
+			f.PC = 1
+			if e.P.StartPark() {
+				return sim.Park
+			}
+			ok = false
+		case 1: // park ended
+			e.Q.WantMem = 0
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 0
 		}
 	}
-	return true
 }
 
-// WouldPace reports whether PaceAtMinimum would park right now: pacing
+// WouldPace reports whether CallPace would park right now: pacing
 // is enabled, the query holds exactly its bare minimum, has a real
 // maximum above it, and its remaining time exceeds the conservative
 // two-pass estimate. Operators that must save state before parking
@@ -155,76 +206,141 @@ func (e *Exec) WouldPace() bool {
 		e.K.Now() < q.Deadline-e.PaceFactor*3*q.StandAlone
 }
 
-// PaceAtMinimum implements the Earliest-Deadline pacing the paper's §3.2
-// describes: a query's allocation "settles on the maximum as its
+// CallPace enters the Earliest-Deadline pacing wait of the paper's §3.2
+// as a child frame: a query's allocation "settles on the maximum as its
 // deadline draws close", so a query holding only its bare minimum defers
 // the expensive extra-pass processing while it still has ample slack —
 // executing at minimum memory costs up to three times the one-pass I/O,
 // and a later top-up does that work at a fraction of the price. The
 // query parks until it is topped up beyond its minimum or its remaining
 // time falls under a conservative two-pass execution estimate, then
-// proceeds. It returns false if the deadline interrupt arrives first.
-func (e *Exec) PaceAtMinimum() bool {
+// proceeds. The frame's result is false if the deadline interrupt
+// arrives first.
+func (e *Exec) CallPace(m *sim.Machine) sim.Status {
+	f := &e.frPace
+	f.e = e
+	return m.Call(f)
+}
+
+type paceFrame struct {
+	sim.FrameState
+	e     *Exec
+	timer sim.Timer
+}
+
+func (f *paceFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	e := f.e
 	for {
-		q := e.Q
-		if q.Alloc == 0 {
-			if !e.WaitMemory() {
-				return false
+		switch f.PC {
+		case 0: // loop head
+			q := e.Q
+			if q.Alloc == 0 {
+				f.PC = 1
+				return e.CallWaitMemory(m)
 			}
-			continue
-		}
-		if e.PaceFactor <= 0 || q.Alloc > q.MinMem || q.MinMem >= q.MaxMem {
-			return true
-		}
-		urgentAt := q.Deadline - e.PaceFactor*3*q.StandAlone
-		if e.K.Now() >= urgentAt {
-			return true
-		}
-		// Park until topped up (the controller wakes any process with
-		// WantMem set when its grant changes) or until urgency arrives.
-		q.WantMem = q.MinMem + 1
-		t := e.K.At(urgentAt-e.K.Now(), q.Proc.Wake)
-		ok := e.P.Park()
-		t.Stop()
-		q.WantMem = 0
-		if !ok {
-			return false
+			if e.PaceFactor <= 0 || q.Alloc > q.MinMem || q.MinMem >= q.MaxMem {
+				return m.Return(true)
+			}
+			urgentAt := q.Deadline - e.PaceFactor*3*q.StandAlone
+			if e.K.Now() >= urgentAt {
+				return m.Return(true)
+			}
+			// Park until topped up (the controller wakes any process with
+			// WantMem set when its grant changes) or until urgency arrives.
+			q.WantMem = q.MinMem + 1
+			f.timer = e.K.At(urgentAt-e.K.Now(), q.Proc.WakeFn())
+			f.PC = 2
+			if e.P.StartPark() {
+				return sim.Park
+			}
+			ok = false
+		case 1: // admission wait ended
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 0
+		case 2: // pacing park ended
+			f.timer.Stop()
+			e.Q.WantMem = 0
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 0
 		}
 	}
 }
 
-// ReadRel reads npages sequential pages of rel starting at fromPage,
-// fetching blockSize pages per I/O (the prefetch behaviour of §4.2) and
-// consulting the LRU cache for each block. Each physical I/O charges the
-// CPU the start-I/O cost before the disk access. It returns false on
-// interruption.
-func (e *Exec) ReadRel(rel *catalog.Relation, fromPage, npages, blockSize int) bool {
-	if blockSize <= 0 {
-		blockSize = 1
+// CallReadRel enters a relation scan as a child frame: npages sequential
+// pages of rel starting at fromPage, fetching blockSize pages per I/O
+// (the prefetch behaviour of §4.2) and consulting the LRU cache for each
+// block. Each physical I/O charges the CPU the start-I/O cost before the
+// disk access. The frame's result is false on interruption.
+func (e *Exec) CallReadRel(m *sim.Machine, rel *catalog.Relation, fromPage, npages, blockSize int) sim.Status {
+	f := &e.frReadRel
+	f.e, f.rel, f.from, f.n, f.bs = e, rel, fromPage, npages, blockSize
+	return m.Call(f)
+}
+
+type readRelFrame struct {
+	sim.FrameState
+	e           *Exec
+	rel         *catalog.Relation
+	from, n, bs int
+
+	off, step int
+	key       buffer.PageKey
+}
+
+func (f *readRelFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	e := f.e
+	for {
+		switch f.PC {
+		case 0: // entry
+			if f.bs <= 0 {
+				f.bs = 1
+			}
+			f.off = f.from
+			f.PC = 1
+		case 1: // loop head: next block
+			if f.off >= f.from+f.n {
+				return m.Return(true)
+			}
+			f.step = f.bs
+			if rem := f.from + f.n - f.off; rem < f.step {
+				f.step = rem
+			}
+			f.key = buffer.PageKey{File: f.rel.ID, Page: int32(f.off / f.bs)}
+			if e.Pool.Lookup(f.key) {
+				f.off += f.step
+				continue
+			}
+			f.PC = 2
+			if entered, ok2 := e.StartCPU(cpu.CostStartIO); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 2: // start-I/O charge done
+			if !ok {
+				return m.Return(false)
+			}
+			e.Q.IOCount++
+			e.IOBreakdown.RelRead += int64(f.step)
+			ext := f.rel.Extent()
+			f.PC = 3
+			if ext.Disk().StartAccessSeq(e.P, e.Q.Prio(), ext.CylinderOf(f.off), f.step, f.rel.ID, f.off, &e.req) {
+				return sim.Park
+			}
+			ok = false
+		case 3: // transfer done
+			if !ok {
+				return m.Return(false)
+			}
+			e.Pool.Insert(f.key)
+			f.off += f.step
+			f.PC = 1
+		}
 	}
-	ext := rel.Extent()
-	for off := fromPage; off < fromPage+npages; {
-		n := blockSize
-		if rem := fromPage + npages - off; rem < n {
-			n = rem
-		}
-		key := buffer.PageKey{File: rel.ID, Page: int32(off / blockSize)}
-		if e.Pool.Lookup(key) {
-			off += n
-			continue
-		}
-		if !e.UseCPU(cpu.CostStartIO) {
-			return false
-		}
-		e.Q.IOCount++
-		e.IOBreakdown.RelRead += int64(n)
-		if !ext.Disk().AccessSeq(e.P, e.Q.Prio(), ext.CylinderOf(off), n, rel.ID, off) {
-			return false
-		}
-		e.Pool.Insert(key)
-		off += n
-	}
-	return true
 }
 
 // TempFile is a temporary spool file (contracted partitions, sort runs).
@@ -254,79 +370,160 @@ func (t *TempFile) Written() int { return t.written }
 // Capacity returns the extent size in pages.
 func (t *TempFile) Capacity() int { return t.ext.Pages() }
 
-// Append writes npages sequentially to the end of the file in I/O units
-// of ioUnit pages (use the block size when the query has buffers to
-// spool with, 1 otherwise). It returns false on interruption.
-func (t *TempFile) Append(e *Exec, npages, ioUnit int) bool {
-	if t.closed {
-		panic("query: append to closed temp file")
-	}
-	if ioUnit <= 0 {
-		ioUnit = 1
-	}
-	for n := npages; n > 0; {
-		u := ioUnit
-		if n < u {
-			u = n
-		}
-		if t.written+u > t.ext.Pages() {
-			// The file outgrew its extent (rare: adaptive operators may
-			// spool more than first estimated). Chain a larger extent on
-			// the same disk; the old pages are accounted as rewritten once.
-			old := t.ext
-			t.ext = t.env.Disks.AllocTemp(t.written+npages, old.Disk().ID())
-			old.Free()
-		}
-		if !e.UseCPU(cpu.CostStartIO) {
-			return false
-		}
-		e.Q.IOCount++
-		e.IOBreakdown.SpoolWrite += int64(u)
-		// Appends are sequential by construction: write-behind streams them.
-		if !t.ext.Disk().AccessSeq(e.P, e.Q.Prio(), t.ext.CylinderOf(t.written), u, t.id, t.written) {
-			return false
-		}
-		t.written += u
-		n -= u
-	}
-	return true
+// CallAppend enters a sequential append of npages to the end of the file
+// as a child frame, in I/O units of ioUnit pages (use the block size
+// when the query has buffers to spool with, 1 otherwise). The frame's
+// result is false on interruption.
+func (t *TempFile) CallAppend(m *sim.Machine, e *Exec, npages, ioUnit int) sim.Status {
+	f := &e.frAppend
+	f.e, f.t, f.npages, f.unit = e, t, npages, ioUnit
+	return m.Call(f)
 }
 
-// Read reads npages sequentially starting at page `from`, in I/O units of
-// ioUnit pages. Block-unit reads stream through the prefetch cache;
-// single-page reads do not — the paper exempts the merge phase of
-// external sorts from prefetching, and merges are the only page-unit
-// readers. It returns false on interruption.
-func (t *TempFile) Read(e *Exec, from, npages, ioUnit int) bool {
-	if t.closed {
-		panic("query: read from closed temp file")
+type appendFrame struct {
+	sim.FrameState
+	e      *Exec
+	t      *TempFile
+	npages int
+	unit   int
+
+	n, u int
+}
+
+func (f *appendFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	e, t := f.e, f.t
+	for {
+		switch f.PC {
+		case 0: // entry
+			if t.closed {
+				panic("query: append to closed temp file")
+			}
+			if f.unit <= 0 {
+				f.unit = 1
+			}
+			f.n = f.npages
+			f.PC = 1
+		case 1: // loop head: next unit
+			if f.n <= 0 {
+				return m.Return(true)
+			}
+			f.u = f.unit
+			if f.n < f.u {
+				f.u = f.n
+			}
+			if t.written+f.u > t.ext.Pages() {
+				// The file outgrew its extent (rare: adaptive operators may
+				// spool more than first estimated). Chain a larger extent on
+				// the same disk; the old pages are accounted as rewritten once.
+				old := t.ext
+				t.ext = t.env.Disks.AllocTemp(t.written+f.npages, old.Disk().ID())
+				old.Free()
+			}
+			f.PC = 2
+			if entered, ok2 := e.StartCPU(cpu.CostStartIO); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 2: // start-I/O charge done
+			if !ok {
+				return m.Return(false)
+			}
+			e.Q.IOCount++
+			e.IOBreakdown.SpoolWrite += int64(f.u)
+			// Appends are sequential by construction: write-behind streams them.
+			f.PC = 3
+			if t.ext.Disk().StartAccessSeq(e.P, e.Q.Prio(), t.ext.CylinderOf(t.written), f.u, t.id, t.written, &e.req) {
+				return sim.Park
+			}
+			ok = false
+		case 3: // transfer done
+			if !ok {
+				return m.Return(false)
+			}
+			t.written += f.u
+			f.n -= f.u
+			f.PC = 1
+		}
 	}
-	if ioUnit <= 0 {
-		ioUnit = 1
+}
+
+// CallRead enters a sequential read of npages starting at page `from` as
+// a child frame, in I/O units of ioUnit pages. Block-unit reads stream
+// through the prefetch cache; single-page reads do not — the paper
+// exempts the merge phase of external sorts from prefetching, and merges
+// are the only page-unit readers. The frame's result is false on
+// interruption.
+func (t *TempFile) CallRead(m *sim.Machine, e *Exec, from, npages, ioUnit int) sim.Status {
+	f := &e.frRead
+	f.e, f.t, f.from, f.npages, f.unit = e, t, from, npages, ioUnit
+	return m.Call(f)
+}
+
+type readTempFrame struct {
+	sim.FrameState
+	e      *Exec
+	t      *TempFile
+	from   int
+	npages int
+	unit   int
+
+	off, u int
+}
+
+func (f *readTempFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	e, t := f.e, f.t
+	for {
+		switch f.PC {
+		case 0: // entry
+			if t.closed {
+				panic("query: read from closed temp file")
+			}
+			if f.unit <= 0 {
+				f.unit = 1
+			}
+			f.off = f.from
+			f.PC = 1
+		case 1: // loop head: next unit
+			if f.off >= f.from+f.npages {
+				return m.Return(true)
+			}
+			f.u = f.unit
+			if rem := f.from + f.npages - f.off; rem < f.u {
+				f.u = rem
+			}
+			f.PC = 2
+			if entered, ok2 := e.StartCPU(cpu.CostStartIO); entered {
+				return sim.Park
+			} else {
+				ok = ok2
+			}
+		case 2: // start-I/O charge done
+			if !ok {
+				return m.Return(false)
+			}
+			e.Q.IOCount++
+			e.IOBreakdown.SpoolRead += int64(f.u)
+			d := t.ext.Disk()
+			f.PC = 3
+			var entered bool
+			if f.unit > 1 {
+				entered = d.StartAccessSeq(e.P, e.Q.Prio(), t.ext.CylinderOf(f.off), f.u, t.id, f.off, &e.req)
+			} else {
+				entered = d.StartAccess(e.P, e.Q.Prio(), t.ext.CylinderOf(f.off), f.u, &e.req)
+			}
+			if entered {
+				return sim.Park
+			}
+			ok = false
+		case 3: // transfer done
+			if !ok {
+				return m.Return(false)
+			}
+			f.off += f.u
+			f.PC = 1
+		}
 	}
-	for off := from; off < from+npages; {
-		u := ioUnit
-		if rem := from + npages - off; rem < u {
-			u = rem
-		}
-		if !e.UseCPU(cpu.CostStartIO) {
-			return false
-		}
-		e.Q.IOCount++
-		e.IOBreakdown.SpoolRead += int64(u)
-		d := t.ext.Disk()
-		var ok bool
-		if ioUnit > 1 {
-			ok = d.AccessSeq(e.P, e.Q.Prio(), t.ext.CylinderOf(off), u, t.id, off)
-		} else {
-			ok = d.Access(e.P, e.Q.Prio(), t.ext.CylinderOf(off), u)
-		}
-		if !ok {
-			return false
-		}
-		off += u
-	}
-	return true
 }
 
 // Close releases the temp file's disk extent. Closing twice is a no-op
@@ -339,9 +536,30 @@ func (t *TempFile) Close() {
 	t.ext.Free()
 }
 
-// Operator executes a query against an Exec context. Run returns false
-// when the query was aborted by its deadline; implementations must
-// release all temp files before returning either way.
+// Operator executes a query against an Exec context. Start returns the
+// resumable frame running the operator; the frame's result is false when
+// the query was aborted by its deadline. Implementations must release
+// all temp files before returning either way.
 type Operator interface {
-	Run(e *Exec) bool
+	Start(e *Exec) sim.Frame
+}
+
+// Launch spawns an inline process that runs op against e, binding e.P
+// (and Q.Proc) to the new process. done, if non-nil, receives the
+// operator's result when it finishes. It is the harness for running a
+// single operator outside the full system (tests, calibration tools).
+func Launch(k *sim.Kernel, name string, e *Exec, op Operator, done func(ok bool)) sim.Task {
+	s := &sim.Script{Stages: []func(*sim.Machine, bool) sim.Status{
+		func(m *sim.Machine, ok bool) sim.Status { return m.Call(op.Start(e)) },
+		func(m *sim.Machine, ok bool) sim.Status {
+			if done != nil {
+				done(ok)
+			}
+			return m.Return(ok)
+		},
+	}}
+	t := k.SpawnInline(name, s)
+	e.P = t
+	e.Q.Proc = t
+	return t
 }

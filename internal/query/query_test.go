@@ -33,26 +33,46 @@ func newQuery(rel *catalog.Relation) *Query {
 		StandAlone: 10, MinMem: 5, MaxMem: 100, ReadIOs: 20, Alloc: 100}
 }
 
+// script spawns an inline process running the given stages with e bound
+// to it. Each stage ends its turn like any frame step: park, call, or
+// return; the next stage receives the outcome.
+func script(k *sim.Kernel, e *Exec, stages ...func(m *sim.Machine, ok bool) sim.Status) sim.Task {
+	p := k.SpawnInline("script", &sim.Script{Stages: stages})
+	e.P = p
+	e.Q.Proc = p
+	return p
+}
+
 func TestReadRelCountsAndCaches(t *testing.T) {
 	k, env, rel := newEnv(t)
 	q := newQuery(rel)
-	k.Spawn("r", func(p *sim.Proc) {
-		e := &Exec{Env: env, Q: q, P: p}
-		if !e.ReadRel(rel, 0, 120, 6) {
-			t.Error("read interrupted")
-		}
-		first := q.IOCount
-		if first != 20 {
-			t.Errorf("IOCount = %d, want 20 blocks", first)
-		}
-		// Second scan: the LRU holds the blocks (pool 1000 ≥ 20 keys).
-		if !e.ReadRel(rel, 0, 120, 6) {
-			t.Error("second read interrupted")
-		}
-		if q.IOCount != first {
-			t.Errorf("cached re-read issued %d extra I/Os", q.IOCount-first)
-		}
-	})
+	e := &Exec{Env: env, Q: q}
+	var first int
+	script(k, e,
+		func(m *sim.Machine, ok bool) sim.Status {
+			return e.CallReadRel(m, rel, 0, 120, 6)
+		},
+		func(m *sim.Machine, ok bool) sim.Status {
+			if !ok {
+				t.Error("read interrupted")
+			}
+			first = q.IOCount
+			if first != 20 {
+				t.Errorf("IOCount = %d, want 20 blocks", first)
+			}
+			// Second scan: the LRU holds the blocks (pool 1000 ≥ 20 keys).
+			return e.CallReadRel(m, rel, 0, 120, 6)
+		},
+		func(m *sim.Machine, ok bool) sim.Status {
+			if !ok {
+				t.Error("second read interrupted")
+			}
+			if q.IOCount != first {
+				t.Errorf("cached re-read issued %d extra I/Os", q.IOCount-first)
+			}
+			return m.Return(ok)
+		},
+	)
 	k.Drain()
 	hits, _, _ := env.Pool.Stats()
 	if hits != 20 {
@@ -63,12 +83,18 @@ func TestReadRelCountsAndCaches(t *testing.T) {
 func TestReadRelPartialBlock(t *testing.T) {
 	k, env, rel := newEnv(t)
 	q := newQuery(rel)
-	k.Spawn("r", func(p *sim.Proc) {
-		e := &Exec{Env: env, Q: q, P: p}
-		if !e.ReadRel(rel, 0, 7, 6) { // 6 + 1
-			t.Error("read interrupted")
-		}
-	})
+	e := &Exec{Env: env, Q: q}
+	script(k, e,
+		func(m *sim.Machine, ok bool) sim.Status {
+			return e.CallReadRel(m, rel, 0, 7, 6) // 6 + 1
+		},
+		func(m *sim.Machine, ok bool) sim.Status {
+			if !ok {
+				t.Error("read interrupted")
+			}
+			return m.Return(ok)
+		},
+	)
 	k.Drain()
 	if q.IOCount != 2 {
 		t.Fatalf("IOCount = %d, want 2", q.IOCount)
@@ -79,24 +105,34 @@ func TestTempFileLifecycle(t *testing.T) {
 	k, env, rel := newEnv(t)
 	q := newQuery(rel)
 	free0 := env.Disks.Disk(0).TempFreeCylinders() + env.Disks.Disk(1).TempFreeCylinders()
-	k.Spawn("w", func(p *sim.Proc) {
-		e := &Exec{Env: env, Q: q, P: p}
-		tf := e.CreateTemp(60, rel)
-		if tf.Capacity() < 60 {
-			t.Errorf("capacity %d", tf.Capacity())
-		}
-		if !tf.Append(e, 30, 6) {
-			t.Error("append failed")
-		}
-		if tf.Written() != 30 {
-			t.Errorf("written = %d", tf.Written())
-		}
-		if !tf.Read(e, 0, 30, 6) {
-			t.Error("read failed")
-		}
-		tf.Close()
-		tf.Close() // idempotent
-	})
+	e := &Exec{Env: env, Q: q}
+	var tf *TempFile
+	script(k, e,
+		func(m *sim.Machine, ok bool) sim.Status {
+			tf = e.CreateTemp(60, rel)
+			if tf.Capacity() < 60 {
+				t.Errorf("capacity %d", tf.Capacity())
+			}
+			return tf.CallAppend(m, e, 30, 6)
+		},
+		func(m *sim.Machine, ok bool) sim.Status {
+			if !ok {
+				t.Error("append failed")
+			}
+			if tf.Written() != 30 {
+				t.Errorf("written = %d", tf.Written())
+			}
+			return tf.CallRead(m, e, 0, 30, 6)
+		},
+		func(m *sim.Machine, ok bool) sim.Status {
+			if !ok {
+				t.Error("read failed")
+			}
+			tf.Close()
+			tf.Close() // idempotent
+			return m.Return(ok)
+		},
+	)
 	k.Drain()
 	if got := env.Disks.Disk(0).TempFreeCylinders() + env.Disks.Disk(1).TempFreeCylinders(); got != free0 {
 		t.Fatalf("temp cylinders leaked: %d vs %d", got, free0)
@@ -109,17 +145,24 @@ func TestTempFileLifecycle(t *testing.T) {
 func TestTempFileGrowsBeyondCapacity(t *testing.T) {
 	k, env, rel := newEnv(t)
 	q := newQuery(rel)
-	k.Spawn("w", func(p *sim.Proc) {
-		e := &Exec{Env: env, Q: q, P: p}
-		tf := e.CreateTemp(10, rel)
-		if !tf.Append(e, 50, 6) { // outgrows the 10-page estimate
-			t.Error("append failed")
-		}
-		if tf.Written() != 50 {
-			t.Errorf("written = %d", tf.Written())
-		}
-		tf.Close()
-	})
+	e := &Exec{Env: env, Q: q}
+	var tf *TempFile
+	script(k, e,
+		func(m *sim.Machine, ok bool) sim.Status {
+			tf = e.CreateTemp(10, rel)
+			return tf.CallAppend(m, e, 50, 6) // outgrows the 10-page estimate
+		},
+		func(m *sim.Machine, ok bool) sim.Status {
+			if !ok {
+				t.Error("append failed")
+			}
+			if tf.Written() != 50 {
+				t.Errorf("written = %d", tf.Written())
+			}
+			tf.Close()
+			return m.Return(ok)
+		},
+	)
 	k.Drain()
 }
 
@@ -127,15 +170,20 @@ func TestWaitMemoryBlocksUntilGrant(t *testing.T) {
 	k, env, rel := newEnv(t)
 	q := newQuery(rel)
 	q.Alloc = 0
+	e := &Exec{Env: env, Q: q}
 	var resumed float64
-	k.Spawn("q", func(p *sim.Proc) {
-		q.Proc = p
-		e := &Exec{Env: env, Q: q, P: p}
-		if !e.WaitMemory() {
-			t.Error("wait interrupted")
-		}
-		resumed = p.Now()
-	})
+	script(k, e,
+		func(m *sim.Machine, ok bool) sim.Status {
+			return e.CallWaitMemory(m)
+		},
+		func(m *sim.Machine, ok bool) sim.Status {
+			if !ok {
+				t.Error("wait interrupted")
+			}
+			resumed = k.Now()
+			return m.Return(ok)
+		},
+	)
 	k.At(3, func() {
 		q.Alloc = 50
 		if q.WantMem > 0 {
@@ -152,16 +200,20 @@ func TestWaitMemoryInterrupted(t *testing.T) {
 	k, env, rel := newEnv(t)
 	q := newQuery(rel)
 	q.Alloc = 0
-	var ok *bool
-	proc := k.Spawn("q", func(p *sim.Proc) {
-		q.Proc = p
-		e := &Exec{Env: env, Q: q, P: p}
-		got := e.WaitMemory()
-		ok = &got
-	})
+	e := &Exec{Env: env, Q: q}
+	var got *bool
+	proc := script(k, e,
+		func(m *sim.Machine, ok bool) sim.Status {
+			return e.CallWaitMemory(m)
+		},
+		func(m *sim.Machine, ok bool) sim.Status {
+			got = &ok
+			return m.Return(ok)
+		},
+	)
 	k.At(1, func() { proc.Interrupt() })
 	k.Drain()
-	if ok == nil || *ok {
+	if got == nil || *got {
 		t.Fatal("interrupted wait should return false")
 	}
 }
@@ -170,19 +222,24 @@ func TestPacingDisabledByDefault(t *testing.T) {
 	k, env, rel := newEnv(t)
 	q := newQuery(rel)
 	q.Alloc = q.MinMem // bare minimum, far from deadline
-	k.Spawn("q", func(p *sim.Proc) {
-		q.Proc = p
-		e := &Exec{Env: env, Q: q, P: p}
-		if e.WouldPace() {
-			t.Error("pacing should be disabled with PaceFactor 0")
-		}
-		if !e.PaceAtMinimum() {
-			t.Error("PaceAtMinimum failed")
-		}
-		if p.Now() != 0 {
-			t.Error("disabled pacing consumed time")
-		}
-	})
+	e := &Exec{Env: env, Q: q}
+	script(k, e,
+		func(m *sim.Machine, ok bool) sim.Status {
+			if e.WouldPace() {
+				t.Error("pacing should be disabled with PaceFactor 0")
+			}
+			return e.CallPace(m)
+		},
+		func(m *sim.Machine, ok bool) sim.Status {
+			if !ok {
+				t.Error("pacing failed")
+			}
+			if k.Now() != 0 {
+				t.Error("disabled pacing consumed time")
+			}
+			return m.Return(ok)
+		},
+	)
 	k.Drain()
 }
 
@@ -193,18 +250,23 @@ func TestPacingParksUntilUrgent(t *testing.T) {
 	q.Alloc = q.MinMem
 	q.StandAlone = 10
 	q.Deadline = 100 // urgency at 100 − 3·10 = 70
+	e := &Exec{Env: env, Q: q}
 	var resumed float64
-	k.Spawn("q", func(p *sim.Proc) {
-		q.Proc = p
-		e := &Exec{Env: env, Q: q, P: p}
-		if !e.WouldPace() {
-			t.Error("should pace: bare minimum and huge slack")
-		}
-		if !e.PaceAtMinimum() {
-			t.Error("pacing interrupted")
-		}
-		resumed = p.Now()
-	})
+	script(k, e,
+		func(m *sim.Machine, ok bool) sim.Status {
+			if !e.WouldPace() {
+				t.Error("should pace: bare minimum and huge slack")
+			}
+			return e.CallPace(m)
+		},
+		func(m *sim.Machine, ok bool) sim.Status {
+			if !ok {
+				t.Error("pacing interrupted")
+			}
+			resumed = k.Now()
+			return m.Return(ok)
+		},
+	)
 	k.Drain()
 	if resumed != 70 {
 		t.Fatalf("resumed at %g, want 70 (deadline − 3×StandAlone)", resumed)
@@ -218,13 +280,17 @@ func TestPacingWakesOnTopUp(t *testing.T) {
 	q.Alloc = q.MinMem
 	q.StandAlone = 10
 	q.Deadline = 1000
+	e := &Exec{Env: env, Q: q}
 	var resumed float64
-	k.Spawn("q", func(p *sim.Proc) {
-		q.Proc = p
-		e := &Exec{Env: env, Q: q, P: p}
-		e.PaceAtMinimum()
-		resumed = p.Now()
-	})
+	script(k, e,
+		func(m *sim.Machine, ok bool) sim.Status {
+			return e.CallPace(m)
+		},
+		func(m *sim.Machine, ok bool) sim.Status {
+			resumed = k.Now()
+			return m.Return(ok)
+		},
+	)
 	k.At(5, func() {
 		q.Alloc = q.MaxMem
 		if q.WantMem > 0 {

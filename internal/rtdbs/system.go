@@ -134,46 +134,120 @@ func (s *System) rateAndBoundary(class int, t float64) (rate, boundary float64) 
 	return s.cfg.Phases[0].Rates[class], cycle + span + s.cfg.Phases[0].Duration
 }
 
+// sourceFrame is one Poisson source as an inline state machine: draw an
+// inter-arrival gap under the current phase's rate, hold for it, launch
+// a query, repeat — re-drawing at phase boundaries (exponentials are
+// memoryless) and sleeping through phases with rate 0.
+type sourceFrame struct {
+	sim.FrameState
+	s  *System
+	p  sim.Task
+	ci int
+}
+
+func (f *sourceFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	s := f.s
+	for {
+		switch f.PC {
+		case 0: // loop head: plan the next arrival
+			rate, boundary := s.rateAndBoundary(f.ci, f.p.Now())
+			if rate <= 0 {
+				if math.IsInf(boundary, 1) {
+					return m.Return(true) // class never active
+				}
+				f.PC = 1
+				if f.p.StartHold(boundary - f.p.Now()) {
+					return sim.Park
+				}
+				ok = false
+				continue
+			}
+			gap := s.gen.InterArrival(f.ci, rate)
+			if f.p.Now()+gap > boundary {
+				// The phase ends first; re-draw under the next
+				// phase's rate (exponentials are memoryless).
+				f.PC = 1
+				if f.p.StartHold(boundary - f.p.Now()) {
+					return sim.Park
+				}
+				ok = false
+				continue
+			}
+			f.PC = 2
+			if f.p.StartHold(gap) {
+				return sim.Park
+			}
+			ok = false
+		case 1: // phase-boundary hold ended
+			if !ok {
+				return m.Return(false)
+			}
+			f.PC = 0
+		case 2: // inter-arrival hold ended
+			if !ok {
+				return m.Return(false)
+			}
+			s.launch(s.gen.NewQuery(f.ci, f.p.Now()))
+			f.PC = 0
+		}
+	}
+}
+
 // startSources spawns one Poisson source process per class.
 func (s *System) startSources() {
 	for ci := range s.cfg.Classes {
-		ci := ci
-		s.k.Spawn(fmt.Sprintf("source-%s", s.cfg.Classes[ci].Name), func(p *sim.Proc) {
-			for {
-				rate, boundary := s.rateAndBoundary(ci, p.Now())
-				if rate <= 0 {
-					if math.IsInf(boundary, 1) {
-						return // class never active
-					}
-					if !p.Hold(boundary - p.Now()) {
-						return
-					}
-					continue
-				}
-				gap := s.gen.InterArrival(ci, rate)
-				if p.Now()+gap > boundary {
-					// The phase ends first; re-draw under the next
-					// phase's rate (exponentials are memoryless).
-					if !p.Hold(boundary - p.Now()) {
-						return
-					}
-					continue
-				}
-				if !p.Hold(gap) {
-					return
-				}
-				s.launch(s.gen.NewQuery(ci, p.Now()))
+		f := &sourceFrame{s: s, ci: ci}
+		f.p = s.k.SpawnInline(fmt.Sprintf("source-%s", s.cfg.Classes[ci].Name), f)
+	}
+}
+
+// queryFrame is the query lifecycle as an inline state machine: register
+// with the admission controller, wait for the first memory grant, run
+// the operator, then depart (completed or missed).
+type queryFrame struct {
+	sim.FrameState
+	s         *System
+	q         *query.Query
+	e         query.Exec
+	completed bool
+}
+
+func (f *queryFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	for {
+		switch f.PC {
+		case 0: // entry
+			f.s.ctrl.Arrive(f.q)
+			f.completed = false
+			f.PC = 1
+			return f.e.CallWaitMemory(m)
+		case 1: // admitted (or aborted while waiting)
+			if !ok {
+				f.PC = 3
+				continue
 			}
-		})
+			f.PC = 2
+			return m.Call(f.s.buildOperator(f.q).Start(&f.e))
+		case 2: // operator finished
+			f.completed = ok
+			f.PC = 3
+		case 3: // depart
+			q := f.q
+			q.Finished = true
+			q.FinishTime = f.s.k.Now()
+			q.Missed = !f.completed
+			f.s.ctrl.Depart(q, f.completed)
+			return m.Return(f.completed)
+		}
 	}
 }
 
 // launch starts a query process and arms its firm-deadline abort.
 func (s *System) launch(q *query.Query) {
 	s.met.arrived++
-	q.Proc = s.k.Spawn(fmt.Sprintf("q%d", q.ID), func(p *sim.Proc) {
-		s.runQuery(q, p)
-	})
+	f := &queryFrame{s: s, q: q}
+	f.e = query.Exec{Env: s.env, Q: q}
+	q.Proc = s.k.SpawnInline(fmt.Sprintf("q%d", q.ID), f)
+	f.e.P = q.Proc
 	// The abort event deliberately fires even for queries that finish
 	// early (it checks Finished and does nothing): cancelling it on
 	// completion would change the executed-event trace, and with the
@@ -184,21 +258,6 @@ func (s *System) launch(q *query.Query) {
 			q.Proc.Interrupt()
 		}
 	})
-}
-
-// runQuery is the query lifecycle: wait for admission, execute the
-// operator, then depart (completed or missed).
-func (s *System) runQuery(q *query.Query, p *sim.Proc) {
-	e := &query.Exec{Env: s.env, Q: q, P: p}
-	s.ctrl.Arrive(q)
-	completed := false
-	if e.WaitMemory() {
-		completed = s.buildOperator(q).Run(e)
-	}
-	q.Finished = true
-	q.FinishTime = p.Now()
-	q.Missed = !completed
-	s.ctrl.Depart(q, completed)
 }
 
 // buildOperator instantiates the operator for a query.

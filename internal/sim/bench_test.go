@@ -71,6 +71,30 @@ func BenchmarkHoldWake(b *testing.B) {
 	k.Drain()
 }
 
+// BenchmarkInlineHoldWake is the inline-process equivalent of
+// BenchmarkHoldWake: the identical hold/park/wake cycle expressed as a
+// resumable frame the kernel steps directly, with no goroutine handoffs.
+// The gap between the two benchmarks is the per-turn cost of the
+// goroutine representation's two channel handoffs.
+func BenchmarkInlineHoldWake(b *testing.B) {
+	k := NewKernel()
+	f := &holdWakeFrame{}
+	p := k.SpawnInline("holdwake", f)
+	f.t = p
+	k.Step() // spawn turn: machine runs and parks in its hold
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step() // hold timer fires, wake scheduled
+		k.Step() // machine resumes, blocks in its park
+		p.Wake()
+		k.Step() // machine resumes, blocks in its hold again
+	}
+	b.StopTimer()
+	p.Interrupt()
+	k.Drain()
+}
+
 // BenchmarkGateContention measures the scheduler-queue hot path the CPU
 // and disks run on every dispatch: N queued waiters, the owner scans for
 // the best (lowest Prio, FIFO among ties), releases it, and the released
@@ -116,10 +140,10 @@ func pickBest(g *Gate) *Waiting {
 }
 
 // procsOf snapshots the processes currently queued at g (teardown aid).
-func procsOf(g *Gate) []*Proc {
-	var out []*Proc
+func procsOf(g *Gate) []Task {
+	var out []Task
 	for _, w := range g.Waiters() {
-		out = append(out, w.Proc())
+		out = append(out, w.Task())
 	}
 	return out
 }

@@ -27,7 +27,7 @@ type Gate struct {
 
 // Waiting is one process queued at a Gate.
 type Waiting struct {
-	proc       *Proc
+	task       *taskCore
 	gate       *Gate
 	next, prev *Waiting
 	seq        uint64
@@ -50,8 +50,8 @@ func NewGate(k *Kernel, name string) *Gate {
 	return &Gate{k: k, name: name}
 }
 
-// Proc returns the waiting process.
-func (w *Waiting) Proc() *Proc { return w.proc }
+// Task returns the waiting process, whichever representation backs it.
+func (w *Waiting) Task() Task { return w.task.self }
 
 // Seq returns the arrival sequence number, unique and increasing per gate.
 func (w *Waiting) Seq() uint64 { return w.seq }
@@ -104,13 +104,13 @@ func (g *Gate) remove(w *Waiting) {
 	g.n--
 }
 
-// wait queues the calling process and parks until released.
-func (g *Gate) wait(p *Proc, prio float64, data any, val float64) bool {
-	if p.takePendingInterrupt() {
-		return false
-	}
-	w := &p.wait
-	*w = Waiting{proc: p, gate: g, seq: g.seq, Prio: prio, Val: val, Data: data}
+// enqueue links a task's embedded wait record into the queue and marks
+// its wait cancellable by unlinking. Both the blocking and the inline
+// entry points funnel here, so the two representations queue
+// identically.
+func (g *Gate) enqueue(c *taskCore, prio float64, data any, val float64) {
+	w := &c.wait
+	*w = Waiting{task: c, gate: g, seq: g.seq, Prio: prio, Val: val, Data: data}
 	g.seq++
 	if g.tail == nil {
 		g.head = w
@@ -120,8 +120,32 @@ func (g *Gate) wait(p *Proc, prio float64, data any, val float64) bool {
 	}
 	g.tail = w
 	g.n++
-	p.cancel = cancelGate
+	c.cancel = cancelGate
+}
+
+// wait queues the calling process and parks until released.
+func (g *Gate) wait(p *Proc, prio float64, data any, val float64) bool {
+	if p.takePendingInterrupt() {
+		return false
+	}
+	g.enqueue(&p.taskCore, prio, data, val)
 	return !p.park().interrupted
+}
+
+// Enqueue is the inline-process counterpart of Wait/WaitVal: it queues t
+// at the gate without blocking and reports whether the wait was entered
+// (false means a pending interrupt consumed it and nothing was queued).
+// On true the caller must park immediately — an inline frame by
+// returning Park with its PC set to the resumption point — and is woken
+// by the owner's Release/EndService or unwound by Interrupt, with the
+// outcome delivered to the next Step exactly as Wait's return value.
+func (g *Gate) Enqueue(t Task, prio float64, data any, val float64) bool {
+	c := t.core()
+	if c.takePendingInterrupt() {
+		return false
+	}
+	g.enqueue(c, prio, data, val)
+	return true
 }
 
 // Wait queues the calling process at the gate with the given priority and
@@ -146,7 +170,7 @@ func (g *Gate) Release(w *Waiting) bool {
 		return false
 	}
 	g.remove(w)
-	w.proc.deliverWake(false)
+	w.task.deliverWake(false)
 	return true
 }
 
@@ -162,7 +186,7 @@ func (g *Gate) BeginService(w *Waiting) bool {
 	// The process keeps waiting but can no longer be torn out of the
 	// queue: mark its wait uncancellable so interrupts defer to
 	// EndService.
-	w.proc.cancel = cancelNone
+	w.task.cancel = cancelNone
 	return true
 }
 
@@ -174,5 +198,5 @@ func (g *Gate) EndService(w *Waiting) {
 		panic("sim: EndService without BeginService")
 	}
 	w.inService = false
-	w.proc.deliverWake(false)
+	w.task.deliverWake(false)
 }

@@ -2,86 +2,35 @@ package sim
 
 import "fmt"
 
-// procState tracks where a process is in its lifecycle.
-type procState int
-
-const (
-	procRunning     procState = iota // currently executing on its goroutine
-	procParked                       // blocked, waiting for a wake
-	procWakePending                  // wake event scheduled but not yet run
-	procDead                         // body returned
-)
-
-// cancelKind tags how a parked process's current wait can be undone. It
-// replaces the closure-valued cancel hook of the original design so the
-// blocking hot paths (Hold, Gate.Wait) stay allocation-free.
-type cancelKind int8
-
-const (
-	// cancelNone marks an uncancellable section (e.g. a disk transfer);
-	// interrupts are deferred to its completion.
-	cancelNone cancelKind = iota
-	// cancelTimer: the wait is a Hold; cancelling stops p.holdTimer.
-	cancelTimer
-	// cancelGate: the wait is a Gate queue entry; cancelling unlinks
-	// p.wait from its gate.
-	cancelGate
-	// cancelPlain marks a wait entered via Park, the only kind of wait
-	// that Wake may resume; Wake must never tear a process out of a
-	// timer or a scheduler queue.
-	cancelPlain
-)
-
-// outcome is what a wake delivers to a parked process.
-type outcome struct {
-	interrupted bool
-}
-
-// Proc is a simulation process: a goroutine that runs in strict
-// alternation with the kernel. All Proc methods must be called from
-// simulation context (the kernel loop or another process's turn); the
-// package is not safe for use from arbitrary goroutines.
+// Proc is the goroutine-backed process representation: a goroutine that
+// runs in strict alternation with the kernel, so bodies are ordinary
+// blocking Go code. It is the compatibility layer for tests and ad-hoc
+// processes; hot production bodies use InlineProc, which eliminates the
+// two channel handoffs each Proc turn costs. All Proc methods must be
+// called from simulation context (the kernel loop or another process's
+// turn); the package is not safe for use from arbitrary goroutines.
 type Proc struct {
-	k      *Kernel
-	name   string
-	resume chan outcome
-	yield  chan struct{}
-
-	state procState
-	// pendingInterrupt records an Interrupt that could not resume the
-	// process immediately (it was running, mid-service, or already had a
-	// wake in flight); the next blocking point reports it.
-	pendingInterrupt bool
-	// cancel describes how to undo the wait the process is parked in;
-	// cancelNone means an uncancellable section.
-	cancel cancelKind
-	// holdTimer is the pending wake of the current Hold (cancelTimer).
-	holdTimer Timer
-	// wait is the process's gate queue entry, embedded so queueing never
-	// allocates; a process occupies at most one gate at a time, and the
-	// entry is recycled wait after wait (see Gate).
-	wait Waiting
-	// turnFn and wakeFn are the process's event callbacks, bound once at
-	// Spawn so scheduling a turn or a timed wake allocates nothing.
-	turnFn func()
-	wakeFn func()
-	// wakeOutcome is consumed by the pending wake event.
-	wakeOutcome outcome
-	panicVal    any
+	taskCore
+	resume   chan outcome
+	yield    chan struct{}
+	panicVal any
 }
 
-// Spawn starts body as a new process. The body begins executing at the
-// current simulation time, after already-scheduled events at this time.
+// Spawn starts body as a new goroutine-backed process. The body begins
+// executing at the current simulation time, after already-scheduled
+// events at this time.
 func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 	p := &Proc{
-		k:      k,
-		name:   name,
 		resume: make(chan outcome),
 		yield:  make(chan struct{}),
-		state:  procWakePending,
 	}
+	p.k = k
+	p.name = name
+	p.self = p
+	p.state = procWakePending
 	p.turnFn = p.runTurn
 	p.wakeFn = func() { p.deliverWake(false) }
+	p.parkWakeFn = func() { p.Wake() }
 	k.procs++
 	go func() {
 		defer func() {
@@ -111,24 +60,6 @@ func (p *Proc) runTurn() {
 	}
 }
 
-// Name returns the process name given at Spawn.
-func (p *Proc) Name() string { return p.name }
-
-// Kernel returns the kernel this process belongs to.
-func (p *Proc) Kernel() *Kernel { return p.k }
-
-// Now returns the current simulation time.
-func (p *Proc) Now() float64 { return p.k.now }
-
-// takePendingInterrupt consumes a deferred interrupt, if any.
-func (p *Proc) takePendingInterrupt() bool {
-	if p.pendingInterrupt {
-		p.pendingInterrupt = false
-		return true
-	}
-	return false
-}
-
 // park blocks the calling process until a wake is delivered. The caller
 // must have arranged for a wake (timer, gate grant, Wake) and set
 // p.cancel appropriately before parking.
@@ -144,88 +75,20 @@ func (p *Proc) park() outcome {
 	return out
 }
 
-// deliverWake schedules the resumption of a parked process.
-func (p *Proc) deliverWake(interrupted bool) {
-	switch p.state {
-	case procParked:
-		p.state = procWakePending
-		p.wakeOutcome = outcome{interrupted: interrupted}
-		p.k.At(0, p.turnFn)
-	case procWakePending:
-		if interrupted {
-			p.pendingInterrupt = true
-		}
-	case procDead:
-		// Late wake for a finished process: drop it.
-	case procRunning:
-		panic("sim: wake delivered to a running process")
-	}
-}
-
 // Hold suspends the process for dt simulated seconds. It returns false
 // if the process was interrupted before the time elapsed.
 func (p *Proc) Hold(dt float64) (ok bool) {
-	if dt < 0 {
-		panic(fmt.Sprintf("sim: negative hold %g", dt))
-	}
-	if p.takePendingInterrupt() {
+	if !p.StartHold(dt) {
 		return false
 	}
-	p.holdTimer = p.k.At(dt, p.wakeFn)
-	p.cancel = cancelTimer
 	return !p.park().interrupted
 }
 
 // Park blocks until another component calls Wake or Interrupt.
 // It returns false if woken by Interrupt.
 func (p *Proc) Park() (ok bool) {
-	if p.takePendingInterrupt() {
+	if !p.StartPark() {
 		return false
 	}
-	p.cancel = cancelPlain
 	return !p.park().interrupted
 }
-
-// Wake resumes a process blocked in Park. Waking a process that is not
-// in a plain Park (already woken at this timestamp, dead, running, or
-// waiting on a timer/Gate/Server) is a no-op, so callers may wake
-// liberally. Waits owned by a Gate or Server can only be ended by the
-// owning primitive.
-func (p *Proc) Wake() {
-	if p.state == procParked && p.cancel == cancelPlain {
-		p.cancel = cancelNone
-		p.deliverWake(false)
-	}
-}
-
-// Interrupt aborts the process's current blocking operation. A
-// cancellable wait (Hold, Park, gate queue) is torn down and resumes
-// immediately with an interrupted outcome; an uncancellable section
-// (in-service disk transfer or CPU burst) completes first and then
-// reports the interruption. Interrupting a dead process is a no-op.
-func (p *Proc) Interrupt() {
-	switch p.state {
-	case procParked:
-		switch p.cancel {
-		case cancelNone:
-			p.pendingInterrupt = true
-		case cancelTimer:
-			p.cancel = cancelNone
-			p.holdTimer.Stop()
-			p.deliverWake(true)
-		case cancelGate:
-			p.cancel = cancelNone
-			p.wait.gate.remove(&p.wait)
-			p.deliverWake(true)
-		case cancelPlain:
-			p.cancel = cancelNone
-			p.deliverWake(true)
-		}
-	case procWakePending, procRunning:
-		p.pendingInterrupt = true
-	case procDead:
-	}
-}
-
-// Dead reports whether the process body has returned.
-func (p *Proc) Dead() bool { return p.state == procDead }

@@ -13,14 +13,18 @@ package sim
 // next request before waking its caller, while a queued completion wakes
 // the served process first — preserving the event order of the original
 // implementation bit for bit.
+//
+// Both process representations share one implementation: StartUse arms
+// the wait (service timer or queue entry) for any Task, and the blocking
+// Use is StartUse plus a goroutine park.
 type Server struct {
 	k     *Kernel
 	gate  *Gate
 	meter *BusyMeter
 	busy  bool
 
-	cur    *Waiting // queued entry currently in service
-	direct *Proc    // caller of an idle-server direct serve
+	cur    *Waiting  // queued entry currently in service
+	direct *taskCore // caller of an idle-server direct serve
 
 	completeQueuedFn func()
 	completeDirectFn func()
@@ -46,41 +50,54 @@ func (s *Server) QueueLen() int { return s.gate.Len() }
 // consumed) or during it (service completed, then the interruption is
 // reported).
 func (s *Server) Use(p *Proc, prio float64, service float64) bool {
+	if !s.StartUse(p, prio, service) {
+		return false
+	}
+	return !p.park().interrupted
+}
+
+// StartUse is the inline-process counterpart of Use: it enters the
+// request — starting service immediately on an idle server, queueing
+// otherwise — without blocking, and reports whether the wait was entered
+// (false means a pending interrupt consumed it; if service had already
+// started it still completes on the server's timeline). On true the
+// caller must park immediately; the completion outcome arrives at its
+// next Step exactly as Use's return value.
+func (s *Server) StartUse(t Task, prio float64, service float64) bool {
 	if service < 0 {
 		panic("sim: negative service time")
 	}
+	c := t.core()
 	if !s.busy {
-		// Fast path: idle server, start service immediately.
-		return s.serve(p, service)
+		// Fast path: idle server, start service immediately, parking the
+		// caller uncancellably for the service duration.
+		s.busy = true
+		s.meter.SetBusy(true)
+		if c.takePendingInterrupt() {
+			s.finish()
+			return false
+		}
+		c.cancel = cancelNone
+		s.direct = c
+		s.k.At(service, s.completeDirectFn)
+		return true
 	}
-	ok := s.gate.WaitVal(p, prio, service)
-	// On a normal release the dispatcher has already accounted for our
-	// service; Wait returning is the completion signal.
-	return ok
-}
-
-// serve runs one service section for the calling process.
-func (s *Server) serve(p *Proc, service float64) bool {
-	s.busy = true
-	s.meter.SetBusy(true)
-	// Park the caller uncancellably for the service duration.
-	if p.takePendingInterrupt() {
-		s.finish()
+	if c.takePendingInterrupt() {
 		return false
 	}
-	p.cancel = cancelNone
-	s.direct = p
-	s.k.At(service, s.completeDirectFn)
-	return !p.park().interrupted
+	// On a normal release the dispatcher has already accounted for the
+	// service; the wake is the completion signal.
+	s.gate.enqueue(c, prio, nil, service)
+	return true
 }
 
 // completeDirect ends a direct serve: the server is freed (dispatching
 // the next queued request) before the served caller's wake is scheduled.
 func (s *Server) completeDirect() {
-	p := s.direct
+	c := s.direct
 	s.direct = nil
 	s.finish()
-	p.deliverWake(false)
+	c.deliverWake(false)
 }
 
 // finish marks the server idle and dispatches the next queued request.
