@@ -7,6 +7,8 @@
 //	paperrepro -only fig3,fig11
 //	paperrepro -reps 5    # 5 replicates per point; cells become mean±CI
 //	paperrepro -json      # machine-readable report documents
+//	paperrepro -cache ~/.pmm-results   # warm reruns skip simulation
+//	paperrepro -precision 0.05 -max-reps 64  # adaptive replication
 //
 // Every figure grid runs through the shared replicated-sweep engine
 // (pmm.Sweep): -reps replicates each point at deterministically derived
@@ -14,6 +16,15 @@
 // -json the figure tables are emitted as one JSON array of report
 // documents (id, title, columns, row objects keyed by column) —
 // mirroring rtdbsim's machine-readable aggregates.
+//
+// With -cache DIR every (point, replicate) is served from the
+// content-addressed result store at DIR when present and stored there
+// after simulation, so regenerating a figure after a config-only change
+// re-simulates just the points it touched. With -precision P each
+// point replicates until its miss-ratio CI is within P of the mean
+// (figures with a headline policy pair stop the pair on its paired-gap
+// CI instead); cache and stopping telemetry lands in the figure
+// footers and -json documents.
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"pmm"
 	"pmm/internal/exp"
 	"pmm/internal/prof"
 )
@@ -35,10 +47,13 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		only    = flag.String("only", "", "comma-separated report ids (e.g. fig3,table7); empty = all")
 		out     = flag.String("out", "", "also write the reports to this file")
-		reps    = flag.Int("reps", 1, "replicates per sweep point; > 1 reports mean ± CI cells")
+		reps    = flag.Int("reps", 1, "replicates per sweep point; > 1 reports mean ± CI cells (first round size with -precision)")
 		workers = flag.Int("workers", 0, "max parallel simulations (0 = GOMAXPROCS)")
 		asJSON  = flag.Bool("json", false, "emit the reports as a JSON array instead of text tables")
 		profile = flag.String("cpuprofile", "", "write a CPU profile of the whole reproduction to this file (go tool pprof)")
+		cache   = flag.String("cache", "", "directory of a content-addressed result store; cached replicates are not re-simulated")
+		prec    = flag.Float64("precision", 0, "adaptive replication: replicate each point until its miss-ratio CI half-width is within this fraction of the mean (0 = fixed -reps)")
+		maxReps = flag.Int("max-reps", 32, "replicate cap per point under -precision")
 	)
 	flag.Parse()
 	stopProfile, err := prof.StartCPU(*profile)
@@ -61,8 +76,22 @@ func main() {
 		}
 	}
 
+	opts := exp.Options{
+		Seed: *seed, Quick: *quick, Horizon: *horizon,
+		Reps: *reps, Workers: *workers,
+		Precision: *prec, MaxReps: *maxReps,
+	}
+	if *cache != "" {
+		store, err := pmm.OpenResultStore(*cache)
+		if err != nil {
+			fail(err)
+		}
+		defer store.Close()
+		opts.Store = store
+	}
+
 	start := time.Now()
-	reports, err := exp.All(exp.Options{Seed: *seed, Quick: *quick, Horizon: *horizon, Reps: *reps, Workers: *workers})
+	reports, err := exp.All(opts)
 	if err != nil {
 		fail(err)
 	}

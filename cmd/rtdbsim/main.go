@@ -6,11 +6,21 @@
 //	rtdbsim -preset contention -policy minmax -mpl 10 -rate 0.07
 //	rtdbsim -preset sorts -policy max -rate 0.10 -seed 7
 //	rtdbsim -preset baseline -policy pmm -rate 0.06 -reps 8 -json
+//	rtdbsim -preset baseline -policy pmm -rate 0.06 -reps 8 -cache /tmp/rs
+//	rtdbsim -preset baseline -policy pmm -precision 0.05 -max-reps 64
 //
 // With -reps N the configuration is replicated N times (replicate 0 at
 // -seed, the rest at seeds derived from it) on a -workers pool, and the
 // report carries mean ± confidence-interval aggregates. With -json the
 // run emits a machine-readable document instead of text.
+//
+// With -cache DIR every replicate is first looked up in the
+// content-addressed result store at DIR and stored there after running,
+// so reruns of the same configuration (same canonical config, seed and
+// simulation epoch) skip simulation entirely. With -precision P the
+// fixed -reps is replaced by adaptive replication: replicates run in
+// rounds until the miss-ratio CI half-width falls within P of the mean
+// (-reps then sets the first round, -max-reps the cap).
 package main
 
 import (
@@ -36,11 +46,14 @@ func main() {
 		disks   = flag.Int("disks", 0, "number of disks (0 = preset default)")
 		memory  = flag.Int("memory", 0, "buffer pool pages M (0 = preset default)")
 		trace   = flag.Bool("trace", false, "print the PMM decision trace (replicate 0)")
-		reps    = flag.Int("reps", 1, "replicates with derived seeds; > 1 reports mean ± CI")
+		reps    = flag.Int("reps", 1, "replicates with derived seeds; > 1 reports mean ± CI (first round size with -precision)")
 		workers = flag.Int("workers", 0, "max parallel simulations (0 = GOMAXPROCS)")
 		asJSON  = flag.Bool("json", false, "emit a JSON document with per-replicate and aggregated results")
 		conf    = flag.Float64("confidence", 0.95, "confidence level of aggregate intervals")
 		profile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (go tool pprof)")
+		cache   = flag.String("cache", "", "directory of a content-addressed result store; replicates found there are not re-simulated")
+		prec    = flag.Float64("precision", 0, "adaptive replication: run replicates until the miss-ratio CI half-width is within this fraction of the mean (0 = fixed -reps)")
+		maxReps = flag.Int("max-reps", 32, "replicate cap per point under -precision")
 	)
 	flag.Parse()
 	stopProfile, err := prof.StartCPU(*profile)
@@ -109,15 +122,30 @@ func main() {
 		cfg.MemoryPages = *memory
 	}
 
-	runs, err := pmm.RunMany(cfg, *reps, *workers)
+	spec := pmm.SweepSpec{Base: cfg, Reps: *reps, Workers: *workers, Confidence: *conf}
+	var store *pmm.ResultStore
+	if *cache != "" {
+		var err error
+		store, err = pmm.OpenResultStore(*cache)
+		if err != nil {
+			fail(err)
+		}
+		defer store.Close()
+		spec.Cache = store
+	}
+	if *prec > 0 {
+		spec.Stop = &pmm.StopRule{RelPrecision: *prec, MaxReps: *maxReps}
+	}
+	points, err := pmm.Sweep(spec)
 	if err != nil {
 		fail(err)
 	}
-	agg := pmm.Aggregate(runs, *conf)
+	runs, agg := points[0].Reps, points[0].Agg
 	res := runs[0]
+	tel := telemetry(points[0], store, *prec, *maxReps)
 
 	if *asJSON {
-		emitJSON(cfg, *preset, *seed, runs, agg)
+		emitJSON(cfg, *preset, *seed, runs, agg, tel)
 		return
 	}
 
@@ -125,6 +153,7 @@ func main() {
 	fmt.Printf("simulated         %.0f s\n", res.Duration)
 	if len(runs) > 1 {
 		printAggregate(cfg, runs, agg)
+		printTelemetry(tel)
 		printTrace(*trace, res)
 		return
 	}
@@ -143,7 +172,61 @@ func main() {
 	fmt.Printf("mem fluctuations  %.2f per query\n", res.AvgFluctuations)
 	fmt.Printf("I/O amplification %.2f (pages: %d read, %d spooled out, %d spooled in)\n",
 		res.AvgIOAmplification, res.IOBreakdown.RelRead, res.IOBreakdown.SpoolWrite, res.IOBreakdown.SpoolRead)
+	printTelemetry(tel)
 	printTrace(*trace, res)
+}
+
+// cacheTelemetry reports how the result store served this run.
+type cacheTelemetry struct {
+	Path string `json:"path"`
+	// Hits/Misses are this run's replicates served from / absent in the
+	// store; misses equal the simulations actually performed.
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	// Entries/Evictions snapshot the store after the run.
+	Entries   int   `json:"entries"`
+	Evictions int64 `json:"evictions"`
+}
+
+// stopTelemetry reports the adaptive-replication outcome.
+type stopTelemetry struct {
+	Precision float64 `json:"precision"`
+	MaxReps   int     `json:"maxReps"`
+	RepsUsed  int     `json:"repsUsed"`
+}
+
+// runTelemetry combines both for output.
+type runTelemetry struct {
+	Cache    *cacheTelemetry `json:"cache,omitempty"`
+	Stopping *stopTelemetry  `json:"stopping,omitempty"`
+}
+
+// telemetry assembles cache and stopping telemetry for the run.
+func telemetry(p pmm.PointResult, store *pmm.ResultStore, prec float64, maxReps int) runTelemetry {
+	var tel runTelemetry
+	if store != nil {
+		st := store.Stats()
+		tel.Cache = &cacheTelemetry{
+			Path: st.Path, Hits: p.CacheHits, Misses: p.CacheMisses,
+			Entries: st.Entries, Evictions: st.Evictions,
+		}
+	}
+	if prec > 0 {
+		tel.Stopping = &stopTelemetry{Precision: prec, MaxReps: maxReps, RepsUsed: len(p.Reps)}
+	}
+	return tel
+}
+
+// printTelemetry renders cache/stopping telemetry in the text report.
+func printTelemetry(tel runTelemetry) {
+	if c := tel.Cache; c != nil {
+		fmt.Printf("result store      %s: %d hits, %d misses (simulated), %d entries\n",
+			c.Path, c.Hits, c.Misses, c.Entries)
+	}
+	if s := tel.Stopping; s != nil {
+		fmt.Printf("replicates used   %d of max %d (target %.1f%% relative half-width)\n",
+			s.RepsUsed, s.MaxReps, 100*s.Precision)
+	}
 }
 
 // printAggregate renders the replicated report: mean ± CI per metric.
@@ -206,14 +289,17 @@ type replicateJSON struct {
 }
 
 // emitJSON writes the machine-readable report: the run's identity, the
-// per-point aggregate (mean/CI), and every replicate.
-func emitJSON(cfg pmm.Config, preset string, seed int64, runs []*pmm.Results, agg pmm.Summary) {
+// per-point aggregate (mean/CI), every replicate, and — when a result
+// store or adaptive replication was active — their telemetry.
+func emitJSON(cfg pmm.Config, preset string, seed int64, runs []*pmm.Results, agg pmm.Summary, tel runTelemetry) {
 	doc := struct {
 		Preset     string          `json:"preset"`
 		Policy     string          `json:"policy"`
 		Duration   float64         `json:"duration"`
 		Seed       int64           `json:"seed"`
 		Reps       int             `json:"reps"`
+		Cache      *cacheTelemetry `json:"cache,omitempty"`
+		Stopping   *stopTelemetry  `json:"stopping,omitempty"`
 		Aggregate  pmm.Summary     `json:"aggregate"`
 		Replicates []replicateJSON `json:"replicates"`
 	}{
@@ -222,6 +308,8 @@ func emitJSON(cfg pmm.Config, preset string, seed int64, runs []*pmm.Results, ag
 		Duration:  runs[0].Duration,
 		Seed:      seed,
 		Reps:      len(runs),
+		Cache:     tel.Cache,
+		Stopping:  tel.Stopping,
 		Aggregate: agg,
 	}
 	for i, r := range runs {

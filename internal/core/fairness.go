@@ -27,8 +27,9 @@ type FairnessConfig struct {
 	Window float64
 }
 
-// withDefaults fills zero fields.
-func (c FairnessConfig) withDefaults() FairnessConfig {
+// WithDefaults fills zero fields, exported for the same canonicalization
+// purpose as Config.WithDefaults.
+func (c FairnessConfig) WithDefaults() FairnessConfig {
 	if c.Gain <= 0 {
 		c.Gain = 0.5
 	}
@@ -68,7 +69,7 @@ type FairPMM struct {
 func NewFair(cfg Config, fcfg FairnessConfig, numClasses int, probe Probe) *FairPMM {
 	return &FairPMM{
 		PMM:     New(cfg, probe),
-		fcfg:    fcfg.withDefaults(),
+		fcfg:    fcfg.WithDefaults(),
 		classes: make([]classState, numClasses),
 	}
 }

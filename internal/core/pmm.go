@@ -77,8 +77,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// withDefaults fills zero fields with defaults.
-func (c Config) withDefaults() Config {
+// WithDefaults fills zero fields with the Table 1 defaults. It is the
+// normalization PMM itself applies on construction, exported so the
+// result store can canonicalize configurations before hashing.
+func (c Config) WithDefaults() Config {
 	d := DefaultConfig()
 	if c.SampleSize <= 0 {
 		c.SampleSize = d.SampleSize
@@ -160,7 +162,7 @@ type PMM struct {
 
 // New returns a PMM controller reading system state through probe.
 func New(cfg Config, probe Probe) *PMM {
-	return &PMM{cfg: cfg.withDefaults(), probe: probe, mode: ModeMax}
+	return &PMM{cfg: cfg.WithDefaults(), probe: probe, mode: ModeMax}
 }
 
 // Name implements policy.Allocator.

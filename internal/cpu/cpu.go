@@ -54,25 +54,13 @@ func (c *CPU) Seconds(instructions float64) float64 {
 	return instructions / (c.mips * 1e6)
 }
 
-// Run executes the given number of instructions on behalf of the calling
-// process at the given ED priority (lower = more urgent), blocking until
-// done. It returns false if the process was interrupted.
-func (c *CPU) Run(p *sim.Proc, prio float64, instructions float64) bool {
-	if instructions < 0 {
-		panic(fmt.Sprintf("cpu: negative instruction count %g", instructions))
-	}
-	if instructions == 0 {
-		return true
-	}
-	return c.server.Use(p, prio, c.Seconds(instructions))
-}
-
-// StartRun is the inline-process counterpart of Run: it enters the burst
-// without blocking. entered=true means the wait was entered and the
-// caller must park; the completion outcome arrives at its next step.
-// entered=false means the call finished immediately with result ok —
-// either a zero-instruction burst (ok=true) or a pending interrupt that
-// consumed the wait (ok=false).
+// StartRun enters a CPU burst without blocking. entered=true means the
+// wait was entered and the caller must park; the completion outcome
+// arrives at its next step. entered=false means the call finished
+// immediately with result ok — either a zero-instruction burst
+// (ok=true) or a pending interrupt that consumed the wait (ok=false).
+// The goroutine-process counterpart, Run, is test-only (see
+// proc_compat_test.go).
 func (c *CPU) StartRun(t sim.Task, prio float64, instructions float64) (entered, ok bool) {
 	if instructions < 0 {
 		panic(fmt.Sprintf("cpu: negative instruction count %g", instructions))

@@ -1,0 +1,26 @@
+package cpu
+
+import (
+	"fmt"
+
+	"pmm/internal/sim"
+)
+
+// Run is the goroutine-process (sim.Proc) counterpart of StartRun: it
+// executes the given number of instructions on behalf of the calling
+// process at the given ED priority (lower = more urgent), blocking
+// until done, and returns false if the process was interrupted.
+//
+// Production code runs every process on the inline representation and
+// calls StartRun; the blocking wrapper lives in this test-only file so
+// the package's shipped surface no longer references sim.Proc at all
+// while the goroutine tests keep their natural straight-line style.
+func (c *CPU) Run(p *sim.Proc, prio float64, instructions float64) bool {
+	if instructions < 0 {
+		panic(fmt.Sprintf("cpu: negative instruction count %g", instructions))
+	}
+	if instructions == 0 {
+		return true
+	}
+	return c.server.Use(p, prio, c.Seconds(instructions))
+}

@@ -248,45 +248,6 @@ func (d *Disk) putReq(r *Request) {
 	d.reqFree = append(d.reqFree, r)
 }
 
-// Access performs one non-sequential disk access of `pages` pages at the
-// given cylinder with the given ED priority (lower = more urgent). The
-// calling process blocks until the transfer completes. It returns false
-// if the process was interrupted — while queued (no disk time consumed)
-// or mid-transfer (the transfer finishes first).
-func (d *Disk) Access(p *sim.Proc, prio float64, cylinder, pages int) bool {
-	req := d.getReq()
-	*req = Request{cylinder: cylinder, pages: pages, prio: prio}
-	return d.access(p, prio, req)
-}
-
-// AccessSeq performs a sequential access: page `fromPage` of `file`. If
-// the request continues a stream tracked by the prefetch cache it is
-// serviced at transfer rate (readahead already positioned the data);
-// otherwise it pays the full seek and rotational delay and starts a new
-// tracked stream.
-func (d *Disk) AccessSeq(p *sim.Proc, prio float64, cylinder, pages int, file int64, fromPage int) bool {
-	req := d.getReq()
-	*req = Request{
-		cylinder: cylinder, pages: pages, prio: prio, file: file, page: fromPage,
-	}
-	return d.access(p, prio, req)
-}
-
-func (d *Disk) access(p *sim.Proc, prio float64, req *Request) bool {
-	d.clamp(req)
-	if !d.busy {
-		// Idle disk: serve immediately. Queueing through the gate keeps
-		// interrupt semantics uniform but we can dispatch synchronously.
-		return d.serveDirect(p, req)
-	}
-	// By the time Wait returns the request is no longer referenced: an
-	// interrupted entry was unlinked, and a dispatched one had its
-	// service time consumed before its process was woken.
-	ok := d.gate.Wait(p, prio, req)
-	d.putReq(req)
-	return ok
-}
-
 // clamp validates a request and confines it to the physical disk.
 func (d *Disk) clamp(req *Request) {
 	if req.pages <= 0 {
@@ -300,22 +261,28 @@ func (d *Disk) clamp(req *Request) {
 	}
 }
 
-// StartAccess is the inline-process counterpart of Access: it enters a
-// non-sequential access without blocking, filling the caller-owned
-// scratch record req (which must stay untouched until the access
-// completes or is interrupted). It reports whether the wait was entered;
-// false means a pending interrupt consumed it — if the transfer had
-// already started on an idle disk it still completes on the disk's
-// timeline, exactly like an interrupt arriving mid-transfer. On true the
-// caller must park immediately; the completion outcome arrives at its
-// next step exactly as Access's return value.
+// StartAccess enters one non-sequential disk access of `pages` pages at
+// the given cylinder with the given ED priority (lower = more urgent)
+// without blocking, filling the caller-owned scratch record req (which
+// must stay untouched until the access completes or is interrupted). It
+// reports whether the wait was entered; false means a pending interrupt
+// consumed it — if the transfer had already started on an idle disk it
+// still completes on the disk's timeline, exactly like an interrupt
+// arriving mid-transfer. On true the caller must park immediately; the
+// completion outcome (false iff interrupted) arrives at its next step.
+// The goroutine-process counterparts, Access and AccessSeq, are
+// test-only (see proc_compat_test.go).
 func (d *Disk) StartAccess(t sim.Task, prio float64, cylinder, pages int, req *Request) bool {
 	*req = Request{cylinder: cylinder, pages: pages, prio: prio}
 	return d.start(t, prio, req)
 }
 
-// StartAccessSeq is the inline-process counterpart of AccessSeq, with
-// the same caller-owned scratch record contract as StartAccess.
+// StartAccessSeq is the sequential counterpart of StartAccess: page
+// `fromPage` of `file`. If the request continues a stream tracked by
+// the prefetch cache it is serviced at transfer rate (readahead already
+// positioned the data); otherwise it pays the full seek and rotational
+// delay and starts a new tracked stream. Same caller-owned scratch
+// record contract as StartAccess.
 func (d *Disk) StartAccessSeq(t sim.Task, prio float64, cylinder, pages int, file int64, fromPage int, req *Request) bool {
 	*req = Request{
 		cylinder: cylinder, pages: pages, prio: prio, file: file, page: fromPage,
@@ -367,21 +334,6 @@ func (d *Disk) streamHit(req *Request) bool {
 	copy(d.streams[1:], d.streams[:len(d.streams)-1])
 	d.streams[0] = stream{file: req.file, next: req.page + req.pages}
 	return false
-}
-
-// serveDirect services a request for the calling process on an idle disk.
-// The disk-side completion event is scheduled before the caller's hold
-// timer, so disk state is updated (and the next request dispatched)
-// before the caller resumes. If the caller is interrupted mid-transfer it
-// unwinds immediately, but the transfer itself still completes on the
-// disk's timeline.
-func (d *Disk) serveDirect(p *sim.Proc, req *Request) bool {
-	d.busy = true
-	d.meter.SetBusy(true)
-	service := d.serviceTime(req)
-	d.putReq(req)
-	d.k.At(service, d.completeDirectFn)
-	return p.Hold(service)
 }
 
 // completeDirect finishes a directly served request; the caller's own

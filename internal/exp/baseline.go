@@ -33,7 +33,11 @@ func Baseline(o Options) ([]*Report, error) {
 	pols := baselinePolicies()
 	base := pmm.BaselineConfig()
 	base.Duration = o.horizon(36000)
-	points, err := o.sweep(base, rateAxis(rates), policyAxis(pols))
+	// The figure's headline comparison — adaptive PMM against the best
+	// static algorithm — also drives adaptive stopping: the pair stops
+	// when its gap CI resolves.
+	pair := &pmm.PairedTarget{Axis: "policy", A: "PMM", B: "MinMax"}
+	points, err := o.sweepPaired(base, pair, rateAxis(rates), policyAxis(pols))
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +107,9 @@ func Baseline(o Options) ([]*Report, error) {
 	table7.Notes = append(table7.Notes,
 		"averages over completed queries; paper: Max wait-dominated, MinMax/Proportional zero wait")
 
-	return []*Report{fig3, fig4, fig5, table7, fig7}, nil
+	reports := []*Report{fig3, fig4, fig5, table7, fig7}
+	o.annotate(reports, points)
+	return reports, nil
 }
 
 // PMMTraceBaseline reproduces Figure 6: PMM's target-MPL trace over the
@@ -136,5 +142,6 @@ func PMMTraceBaseline(o Options) ([]*Report, error) {
 	}
 	rep.Notes = append(rep.Notes,
 		"paper: starts in Max, switches to MinMax with an RU-suggested target, then the projection settles the target within a few batches")
+	o.annotate([]*Report{rep}, points)
 	return []*Report{rep}, nil
 }

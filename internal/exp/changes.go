@@ -104,6 +104,7 @@ func WorkloadChanges(o Options) ([]*Report, error) {
 	trace.Notes = append(trace.Notes,
 		fmt.Sprintf("PMM restarted %d times; paper: one reset per workload switch, then quick re-adaptation", pmmRes.PMMRestarts))
 	out = append(out, trace)
+	o.annotate(out, points)
 	return out, nil
 }
 
@@ -135,5 +136,6 @@ func UtilLowSensitivity(o Options) ([]*Report, error) {
 		rep.Rows = append(rep.Rows, []string{fmt.Sprintf("%.2f", lo), cellPct(p.Agg.MissRatio), cellF2(p.Agg.AvgMPL)})
 	}
 	rep.Notes = append(rep.Notes, "paper: approximately the same performance across the range — the default 0.70 suffices")
+	o.annotate([]*Report{rep}, points)
 	return []*Report{rep}, nil
 }

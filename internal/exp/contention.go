@@ -24,7 +24,8 @@ func DiskContention(o Options) ([]*Report, error) {
 	pols := contentionPolicies()
 	base := pmm.DiskContentionConfig()
 	base.Duration = o.horizon(36000)
-	points, err := o.sweep(base, rateAxis(rates), policyAxis(pols))
+	pair := &pmm.PairedTarget{Axis: "policy", A: "PMM", B: "MinMax-10"}
+	points, err := o.sweepPaired(base, pair, rateAxis(rates), policyAxis(pols))
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +61,9 @@ func DiskContention(o Options) ([]*Report, error) {
 	fig10 := metricReport("fig10", "Observed MPL (Disk Contention)",
 		func(p *pmm.PointResult) string { return cellF2(p.Agg.AvgMPL) })
 	fig10.Notes = append(fig10.Notes, "paper: PMM's MPL stays close to MinMax-10's")
-	return []*Report{fig8, fig9, fig10}, nil
+	reports := []*Report{fig8, fig9, fig10}
+	o.annotate(reports, points)
+	return reports, nil
 }
 
 // MinMaxNSweep reproduces Figure 11: the miss ratio of MinMax-N as a
@@ -103,5 +106,6 @@ func MinMaxNSweep(o Options) ([]*Report, error) {
 	}
 	rep.Notes = append(rep.Notes,
 		"paper: concave in N with the optimum at an interior N (10 on the authors' testbed); PMM lands near the optimum")
+	o.annotate([]*Report{rep}, points)
 	return []*Report{rep}, nil
 }

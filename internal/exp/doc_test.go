@@ -2,7 +2,10 @@ package exp
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
+
+	"pmm"
 )
 
 func TestReportDoc(t *testing.T) {
@@ -40,5 +43,42 @@ func TestReportDoc(t *testing.T) {
 	}
 	if back.Rows[0]["Max"] != "1.0" || back.Notes[0] != "baseline" {
 		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+// TestAnnotateTelemetry: sweeps run with a result store or adaptive
+// replication attach their cache and stopping telemetry to every
+// report, both as footer notes and as the structured Sweep document.
+func TestAnnotateTelemetry(t *testing.T) {
+	points := []pmm.PointResult{
+		{Reps: make([]*pmm.Results, 3), CacheHits: 3, CacheMisses: 0},
+		{Reps: make([]*pmm.Results, 8), CacheHits: 2, CacheMisses: 6},
+	}
+	rep := &Report{ID: "figX", Title: "T", Header: []string{"a"}}
+	o := Options{Precision: 0.05, MaxReps: 16}
+	o.annotate([]*Report{rep}, points)
+	info := rep.Sweep
+	if info == nil {
+		t.Fatal("no SweepInfo attached")
+	}
+	if info.RepsMin != 3 || info.RepsMax != 8 || info.RepsTotal != 11 {
+		t.Fatalf("reps telemetry wrong: %+v", info)
+	}
+	if info.Precision != 0.05 || info.MaxReps != 16 {
+		t.Fatalf("stopping knobs wrong: %+v", info)
+	}
+	if len(rep.Notes) != 1 || !strings.Contains(rep.Notes[0], "adaptive replication") {
+		t.Fatalf("missing footer note: %v", rep.Notes)
+	}
+	// Telemetry must survive the Doc conversion for -json consumers.
+	if d := rep.Doc(); d.Sweep == nil || d.Sweep.RepsTotal != 11 {
+		t.Fatalf("Doc dropped sweep telemetry: %+v", d.Sweep)
+	}
+
+	// A plain sweep (no store, no precision) stays unannotated.
+	plain := &Report{ID: "figY"}
+	(Options{}).annotate([]*Report{plain}, points)
+	if plain.Sweep != nil || len(plain.Notes) != 0 {
+		t.Fatalf("plain sweep annotated: %+v %v", plain.Sweep, plain.Notes)
 	}
 }

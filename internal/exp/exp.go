@@ -27,11 +27,22 @@ type Options struct {
 	// run (tests use very small values).
 	Horizon float64
 	// Reps is the number of replicates per sweep point (default 1).
-	// With more than one, tables report mean ± CI cells.
+	// With more than one, tables report mean ± CI cells. With Precision
+	// set it becomes the adaptive controller's first-round size.
 	Reps int
 	// Workers bounds concurrent simulations (default GOMAXPROCS). It
 	// never affects results, only wall-clock time.
 	Workers int
+	// Store, when non-nil, caches per-replicate results so warm reruns
+	// of a figure skip simulation entirely.
+	Store *pmm.ResultStore
+	// Precision, when positive, switches every sweep to adaptive
+	// replication: points replicate until the miss-ratio CI half-width
+	// is within Precision of the mean (figures with a headline policy
+	// pair stop that pair on the paired-gap CI instead).
+	Precision float64
+	// MaxReps caps adaptive replicates per point (default 32).
+	MaxReps int
 }
 
 // horizon returns the simulated duration to use.
@@ -48,13 +59,94 @@ func (o Options) horizon(full float64) float64 {
 // sweep executes base (seeded from the options) across the axes on the
 // shared replicated-sweep engine.
 func (o Options) sweep(base pmm.Config, axes ...pmm.Axis) ([]pmm.PointResult, error) {
+	return o.sweepPaired(base, nil, axes...)
+}
+
+// sweepPaired is sweep with a designated policy pair: under adaptive
+// replication (Precision > 0) the paired points stop on their
+// paired-difference CI — the figure's headline comparison — while the
+// rest of the grid stops on marginal precision.
+func (o Options) sweepPaired(base pmm.Config, pair *pmm.PairedTarget, axes ...pmm.Axis) ([]pmm.PointResult, error) {
 	base.Seed = o.Seed
-	return pmm.Sweep(pmm.SweepSpec{
+	spec := pmm.SweepSpec{
 		Base:    base,
 		Axes:    axes,
 		Reps:    o.Reps,
 		Workers: o.Workers,
-	})
+		Cache:   o.Store,
+	}
+	if o.Precision > 0 {
+		spec.Stop = &pmm.StopRule{
+			RelPrecision: o.Precision,
+			MaxReps:      o.MaxReps,
+			Pair:         pair,
+		}
+	}
+	return pmm.Sweep(spec)
+}
+
+// SweepInfo is the cache and stopping telemetry of one sweep, attached
+// to every report rendered from it (and surfaced in -json documents).
+type SweepInfo struct {
+	// CacheHits/CacheMisses count replicates served from / missed in
+	// the result store, summed over the sweep's points.
+	CacheHits   int `json:"cacheHits"`
+	CacheMisses int `json:"cacheMisses"`
+	// StorePath is the result store directory.
+	StorePath string `json:"storePath,omitempty"`
+	// Precision and MaxReps echo the adaptive-stopping knobs.
+	Precision float64 `json:"precision,omitempty"`
+	MaxReps   int     `json:"maxReps,omitempty"`
+	// RepsMin/RepsMax/RepsTotal summarize replicates actually used per
+	// point under adaptive stopping.
+	RepsMin   int `json:"repsMin,omitempty"`
+	RepsMax   int `json:"repsMax,omitempty"`
+	RepsTotal int `json:"repsTotal,omitempty"`
+}
+
+// annotate attaches cache and adaptive-stopping telemetry from a
+// sweep's points to the reports rendered from it: a structured
+// SweepInfo on each report plus human-readable footer notes.
+func (o Options) annotate(reports []*Report, points []pmm.PointResult) {
+	if o.Store == nil && o.Precision <= 0 {
+		return
+	}
+	info := &SweepInfo{}
+	info.RepsMin = -1
+	for _, p := range points {
+		info.CacheHits += p.CacheHits
+		info.CacheMisses += p.CacheMisses
+		n := len(p.Reps)
+		info.RepsTotal += n
+		if info.RepsMin < 0 || n < info.RepsMin {
+			info.RepsMin = n
+		}
+		if n > info.RepsMax {
+			info.RepsMax = n
+		}
+	}
+	if info.RepsMin < 0 {
+		info.RepsMin = 0
+	}
+	var notes []string
+	if o.Store != nil {
+		info.StorePath = o.Store.Path()
+		notes = append(notes, fmt.Sprintf("result store %s: %d replicates from cache, %d simulated",
+			info.StorePath, info.CacheHits, info.CacheMisses))
+	}
+	if o.Precision > 0 {
+		info.Precision = o.Precision
+		info.MaxReps = o.MaxReps
+		if info.MaxReps <= 0 {
+			info.MaxReps = 32
+		}
+		notes = append(notes, fmt.Sprintf("adaptive replication: %d–%d reps/point (%d total) at %.0f%% relative precision, cap %d",
+			info.RepsMin, info.RepsMax, info.RepsTotal, 100*o.Precision, info.MaxReps))
+	}
+	for _, rep := range reports {
+		rep.Sweep = info
+		rep.Notes = append(rep.Notes, notes...)
+	}
 }
 
 // gLabel renders a float axis value as its %g label. Axis construction
@@ -85,6 +177,9 @@ type Report struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Sweep carries cache/stopping telemetry when the sweep ran with a
+	// result store or adaptive replication (nil otherwise).
+	Sweep *SweepInfo
 }
 
 // Doc is a report in machine-readable form: every row becomes an object
@@ -96,12 +191,15 @@ type Doc struct {
 	Columns []string            `json:"columns"`
 	Rows    []map[string]string `json:"rows"`
 	Notes   []string            `json:"notes,omitempty"`
+	// Sweep carries cache hit/miss counts and replicates-used telemetry
+	// when the sweep ran with a result store or adaptive replication.
+	Sweep *SweepInfo `json:"sweep,omitempty"`
 }
 
 // Doc converts the report. Cells beyond the header are dropped; missing
 // trailing cells are omitted from that row's object.
 func (r *Report) Doc() Doc {
-	d := Doc{ID: r.ID, Title: r.Title, Columns: r.Header, Notes: r.Notes}
+	d := Doc{ID: r.ID, Title: r.Title, Columns: r.Header, Notes: r.Notes, Sweep: r.Sweep}
 	for _, row := range r.Rows {
 		obj := make(map[string]string, len(r.Header))
 		for i, c := range row {
@@ -208,9 +306,16 @@ func cellDeltaPct(s pmm.Stat) string {
 // (replicate r of both shares a seed) and returns the miss-ratio stat of
 // the per-replicate differences a − b. The shared seeds cancel the
 // workload noise within each pair, so the interval is far tighter than
-// the two marginal intervals in the neighbouring columns.
+// the two marginal intervals in the neighbouring columns. Under
+// adaptive replication the two points may hold different replicate
+// counts (only the sweep's designated pair advances in lockstep);
+// pairing then uses the common prefix, which still matches seeds.
 func missDelta(a, b *pmm.PointResult) pmm.Stat {
-	return pmm.AggregatePaired(a.Reps, b.Reps, 0).MissRatio
+	n := len(a.Reps)
+	if len(b.Reps) < n {
+		n = len(b.Reps)
+	}
+	return pmm.AggregatePaired(a.Reps[:n], b.Reps[:n], 0).MissRatio
 }
 
 // deltaColumn appends a paired-difference miss-ratio column to a

@@ -18,7 +18,8 @@ func ExternalSorts(o Options) ([]*Report, error) {
 	pols := baselinePolicies()
 	base := pmm.ExternalSortConfig()
 	base.Duration = o.horizon(36000)
-	points, err := o.sweep(base, rateAxis(rates), policyAxis(pols))
+	pair := &pmm.PairedTarget{Axis: "policy", A: "PMM", B: "MinMax"}
+	points, err := o.sweepPaired(base, pair, rateAxis(rates), policyAxis(pols))
 	if err != nil {
 		return nil, err
 	}
@@ -45,6 +46,7 @@ func ExternalSorts(o Options) ([]*Report, error) {
 		return get(pmm.PolicyConfig{Kind: pmm.PolicyPMM}),
 			get(pmm.PolicyConfig{Kind: pmm.PolicyMinMax})
 	})
+	o.annotate([]*Report{rep}, points)
 	return []*Report{rep}, nil
 }
 
@@ -65,7 +67,8 @@ func Multiclass(o Options) ([]*Report, error) {
 		func(c *pmm.Config, sr float64) { c.Classes[1].ArrivalRate = sr })
 	base := pmm.MulticlassConfig(0)
 	base.Duration = o.horizon(36000)
-	points, err := o.sweep(base, smallAxis, policyAxis(pols))
+	pair := &pmm.PairedTarget{Axis: "policy", A: "FairPMM", B: "PMM"}
+	points, err := o.sweepPaired(base, pair, smallAxis, policyAxis(pols))
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +132,9 @@ func Multiclass(o Options) ([]*Report, error) {
 	}
 	ext.Notes = append(ext.Notes,
 		"extension of the paper's future work: FairPMM should pull the two class miss ratios together (fairness index → 1)")
-	return []*Report{fig17, fig18, ext}, nil
+	reports := []*Report{fig17, fig18, ext}
+	o.annotate(reports, points)
+	return reports, nil
 }
 
 // jain computes Jain's fairness index over a point's aggregated class
@@ -185,5 +190,6 @@ func Scalability(o Options) ([]*Report, error) {
 	}
 	rep.Notes = append(rep.Notes,
 		"paper: qualitative ordering is preserved across scales; MinMax's penalty shrinks as memory grows relative to √(F·‖R‖)")
+	o.annotate([]*Report{rep}, points)
 	return []*Report{rep}, nil
 }

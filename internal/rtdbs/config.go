@@ -153,6 +153,51 @@ func (c Config) validate() error {
 	return nil
 }
 
+// SimEpoch versions the simulation semantics for content-addressed
+// result caching: two runs of the same canonical Config at the same
+// SimEpoch are guaranteed bit-for-bit identical, so their results are
+// interchangeable. Bump this string whenever ANY change lands that can
+// alter simulation output for some configuration — kernel scheduling,
+// cost models, policy logic, RNG streams, metrics definitions. The
+// golden event-order digests in golden_test.go catch accidental
+// behavior changes; an intentional one must update both the digests and
+// this epoch, which invalidates every previously stored result.
+const SimEpoch = "e4-inline-scheduler"
+
+// Canonical returns the configuration in canonical form: every
+// defaulted field made explicit (exactly as New applies them) and every
+// field the selected policy ignores zeroed. Two Configs that would
+// produce identical simulations — one spelling defaults out, the other
+// leaving them zero; one carrying stray parameters of an unselected
+// policy — canonicalize to the same value, which is what makes
+// content-addressed result caching sound.
+func (c Config) Canonical() Config {
+	c = c.withDefaults()
+	pol := PolicyConfig{Kind: c.Policy.Kind}
+	switch c.Policy.Kind {
+	case PolicyMinMax, PolicyProportional:
+		pol.MPLLimit = c.Policy.MPLLimit
+	case PolicyPMM:
+		pol.PMM = c.Policy.PMM.WithDefaults()
+	case PolicyFairPMM:
+		pol.PMM = c.Policy.PMM.WithDefaults()
+		pol.Fairness = c.Policy.Fairness.WithDefaults()
+		// Weights are consulted per class with zero/missing entries
+		// defaulting to 1; normalize to exactly one explicit weight per
+		// class so {nil}, {0,0} and {1,1} all canonicalize identically.
+		w := make([]float64, len(c.Classes))
+		for i := range w {
+			w[i] = 1
+			if i < len(c.Policy.Fairness.Weights) && c.Policy.Fairness.Weights[i] > 0 {
+				w[i] = c.Policy.Fairness.Weights[i]
+			}
+		}
+		pol.Fairness.Weights = w
+	}
+	c.Policy = pol
+	return c
+}
+
 // PolicyName returns the display name of the configured policy.
 func (c Config) PolicyName() string {
 	switch c.Policy.Kind {

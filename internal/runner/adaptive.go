@@ -1,0 +1,297 @@
+package runner
+
+import (
+	"fmt"
+	"math"
+
+	"pmm/internal/rtdbs"
+	"pmm/internal/stats"
+)
+
+// Metric names one Summary statistic for adaptive stopping.
+type Metric string
+
+// Metrics a StopRule can target. Each selects the corresponding field
+// of Summary / rtdbs.Results.
+const (
+	MetricMissRatio   Metric = "missRatio"
+	MetricAvgWait     Metric = "avgWait"
+	MetricAvgExec     Metric = "avgExec"
+	MetricAvgResponse Metric = "avgResponse"
+	MetricAvgMPL      Metric = "avgMPL"
+	MetricAvgDiskUtil Metric = "avgDiskUtil"
+	MetricCPUUtil     Metric = "cpuUtil"
+	MetricTerminated  Metric = "terminated"
+)
+
+// metricGetters maps a Metric to its per-replicate observation.
+var metricGetters = map[Metric]func(*rtdbs.Results) float64{
+	MetricMissRatio:   func(r *rtdbs.Results) float64 { return r.MissRatio },
+	MetricAvgWait:     func(r *rtdbs.Results) float64 { return r.AvgWait },
+	MetricAvgExec:     func(r *rtdbs.Results) float64 { return r.AvgExec },
+	MetricAvgResponse: func(r *rtdbs.Results) float64 { return r.AvgResponse },
+	MetricAvgMPL:      func(r *rtdbs.Results) float64 { return r.AvgMPL },
+	MetricAvgDiskUtil: func(r *rtdbs.Results) float64 { return r.AvgDiskUtil },
+	MetricCPUUtil:     func(r *rtdbs.Results) float64 { return r.CPUUtil },
+	MetricTerminated:  func(r *rtdbs.Results) float64 { return float64(r.Terminated) },
+}
+
+// PairedTarget designates the two values of one axis whose points stop
+// as pairs: for every combination of the other axes' labels, the two
+// points differing only in this axis advance their replicates together
+// and stop by the paired-difference rule (the gap CI excludes zero, or
+// meets the precision floor) instead of their marginal intervals.
+// Because replicate r of both points runs under common random numbers,
+// the paired gap converges far faster than either margin — the natural
+// stopping metric for policy comparisons.
+type PairedTarget struct {
+	// Axis is the axis name, e.g. "policy".
+	Axis string
+	// A and B are the two value labels to pair, e.g. "PMM", "MinMax".
+	A, B string
+}
+
+// StopRule drives adaptive (sequentially stopped) replication: points
+// run replicates in rounds, each round checking whether the confidence
+// intervals of the target metrics are tight enough to stop.
+//
+// A point stops when, for every target metric,
+//
+//	halfWidth ≤ max(RelPrecision·|mean|, AbsFloor)
+//
+// at the rule's confidence level. Points matched by Pair instead stop
+// when the paired-difference CI of each metric either excludes zero
+// (the comparison is resolved) or meets the same precision floor (the
+// gap is pinned down even if it straddles zero). Every point runs at
+// least MinReps and at most MaxReps replicates; rounds grow
+// geometrically in between. The stopping decision is a deterministic
+// function of the spec, so adaptive sweeps remain exactly reproducible.
+type StopRule struct {
+	// RelPrecision is the target relative CI half-width (e.g. 0.05 for
+	// ±5% of the mean). Required: Run rejects a rule without one.
+	RelPrecision float64
+	// AbsFloor is an absolute half-width, in the metric's own units,
+	// below which a metric always counts as converged; it keeps the
+	// relative test meaningful as means approach zero. Default 0.005
+	// (half a point of miss ratio).
+	AbsFloor float64
+	// MinReps is the first round's replicate count and the minimum any
+	// point receives (at least 2, so intervals exist). Default 3.
+	MinReps int
+	// MaxReps caps the replicates per point. Default 32.
+	MaxReps int
+	// Metrics lists the Summary metrics that must all converge.
+	// Default: {MetricMissRatio}, the paper's primary metric.
+	Metrics []Metric
+	// Pair, when non-nil, switches the matched points to paired-gap
+	// stopping (see PairedTarget).
+	Pair *PairedTarget
+}
+
+// withDefaults fills unset knobs and validates the rule. MaxReps is a
+// hard cap: a first round (MinReps, or an explicit Spec.Reps) larger
+// than the cap is clamped down to it, never the cap raised.
+func (r StopRule) withDefaults() (StopRule, error) {
+	if r.RelPrecision <= 0 {
+		return r, fmt.Errorf("runner: StopRule needs RelPrecision > 0, got %g", r.RelPrecision)
+	}
+	if r.AbsFloor <= 0 {
+		r.AbsFloor = 0.005
+	}
+	if r.MinReps <= 0 {
+		r.MinReps = 3
+	}
+	if r.MinReps < 2 {
+		r.MinReps = 2
+	}
+	if r.MaxReps <= 0 {
+		r.MaxReps = 32
+	}
+	if r.MaxReps < 2 {
+		r.MaxReps = 2
+	}
+	if r.MinReps > r.MaxReps {
+		r.MinReps = r.MaxReps
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = []Metric{MetricMissRatio}
+	}
+	for _, m := range r.Metrics {
+		if metricGetters[m] == nil {
+			return r, fmt.Errorf("runner: unknown stop metric %q", m)
+		}
+	}
+	return r, nil
+}
+
+// stopUnit is the granularity of the stopping decision: one point, or a
+// pair of points stopped on their paired difference. All points of a
+// unit always hold the same number of replicates.
+type stopUnit struct {
+	points []int // indices into results; 1 (marginal) or 2 (paired)
+	paired bool
+	done   bool
+	// acc accumulates per-metric observations incrementally (Welford):
+	// marginal units feed the point's own values, paired units feed the
+	// per-replicate differences a−b.
+	acc []stats.Welford
+}
+
+// buildUnits groups the grid into stop units. With no pair target every
+// point is its own unit; with one, each pair of points agreeing on all
+// other axes and labeled A/B on the pair axis forms a unit, and
+// leftover points stay marginal.
+func buildUnits(results []PointResult, rule StopRule) []stopUnit {
+	nm := len(rule.Metrics)
+	var units []stopUnit
+	if rule.Pair != nil {
+		used := make([]bool, len(results))
+		for i := range results {
+			if used[i] || results[i].Point.Labels[rule.Pair.Axis] != rule.Pair.A {
+				continue
+			}
+			for j := range results {
+				if used[j] || i == j || results[j].Point.Labels[rule.Pair.Axis] != rule.Pair.B {
+					continue
+				}
+				if !sameOtherLabels(results[i].Point.Labels, results[j].Point.Labels, rule.Pair.Axis) {
+					continue
+				}
+				units = append(units, stopUnit{points: []int{i, j}, paired: true, acc: make([]stats.Welford, nm)})
+				used[i], used[j] = true, true
+				break
+			}
+		}
+		for i := range results {
+			if !used[i] {
+				units = append(units, stopUnit{points: []int{i}, acc: make([]stats.Welford, nm)})
+			}
+		}
+	} else {
+		for i := range results {
+			units = append(units, stopUnit{points: []int{i}, acc: make([]stats.Welford, nm)})
+		}
+	}
+	return units
+}
+
+// sameOtherLabels reports whether two label maps agree on every axis
+// except the given one.
+func sameOtherLabels(a, b map[string]string, except string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if k == except {
+			continue
+		}
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// absorb folds replicates [from, to) into the unit's accumulators.
+func (u *stopUnit) absorb(results []PointResult, rule StopRule, from, to int) {
+	for mi, m := range rule.Metrics {
+		get := metricGetters[m]
+		for r := from; r < to; r++ {
+			x := get(results[u.points[0]].Reps[r])
+			if u.paired {
+				x -= get(results[u.points[1]].Reps[r])
+			}
+			u.acc[mi].Add(x)
+		}
+	}
+}
+
+// converged evaluates the stopping rule on the unit's accumulators.
+func (u *stopUnit) converged(rule StopRule, confidence float64) bool {
+	z := stats.NormalQuantile(1 - (1-confidence)/2)
+	for mi := range rule.Metrics {
+		w := &u.acc[mi]
+		if w.N() < 2 {
+			return false
+		}
+		mean, sd := w.Mean(), w.SD()
+		hw := 0.0
+		if sd > 0 {
+			hw = z * sd / math.Sqrt(float64(w.N()))
+		}
+		floor := math.Max(rule.RelPrecision*math.Abs(mean), rule.AbsFloor)
+		if u.paired {
+			// Resolved gap: the CI excludes zero. Otherwise fall back
+			// to pinning the gap itself to the precision floor.
+			if math.Abs(mean) > hw {
+				continue
+			}
+		}
+		if hw > floor {
+			return false
+		}
+	}
+	return true
+}
+
+// runAdaptive is the sequential-stopping controller: rounds of
+// replicates for every unconverged unit until all units stop or hit
+// MaxReps. Replicate indices are identical across points within a
+// round, preserving common random numbers for paired units.
+func runAdaptive(s Spec, results []PointResult) error {
+	rule, err := s.Stop.withDefaults()
+	if err != nil {
+		return err
+	}
+	if s.Reps > 1 {
+		// An explicit Reps sets the first round exactly (documented
+		// flag semantics), still subject to the MaxReps cap.
+		rule.MinReps = s.Reps
+		if rule.MinReps > rule.MaxReps {
+			rule.MinReps = rule.MaxReps
+		}
+	}
+	units := buildUnits(results, rule)
+
+	reps := 0 // replicates every live unit currently holds
+	next := rule.MinReps
+	for {
+		var jobs []job
+		for ui := range units {
+			if units[ui].done {
+				continue
+			}
+			for _, pi := range units[ui].points {
+				for r := reps; r < next; r++ {
+					jobs = append(jobs, job{pi, r})
+				}
+			}
+		}
+		if err := runJobs(s, results, jobs); err != nil {
+			return err
+		}
+		allDone := true
+		for ui := range units {
+			u := &units[ui]
+			if u.done {
+				continue
+			}
+			u.absorb(results, rule, reps, next)
+			if u.converged(rule, s.Confidence) || next >= rule.MaxReps {
+				u.done = true
+			} else {
+				allDone = false
+			}
+		}
+		reps = next
+		if allDone {
+			return nil
+		}
+		// Geometric growth amortizes the convergence checks without
+		// overshooting small targets.
+		next = reps + (reps+1)/2
+		if next > rule.MaxReps {
+			next = rule.MaxReps
+		}
+	}
+}

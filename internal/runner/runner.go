@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"pmm/internal/catalog"
+	"pmm/internal/resultstore"
 	"pmm/internal/rtdbs"
 	"pmm/internal/sim"
 	"pmm/internal/workload"
@@ -78,6 +79,22 @@ type Spec struct {
 	Workers int
 	// Confidence is the level of the aggregate intervals (default 0.95).
 	Confidence float64
+	// Stop, when non-nil, replaces the fixed Reps with adaptive
+	// replication: replicates run in rounds until every point (or point
+	// pair) meets the rule's precision target or MaxReps. Reps then
+	// serves as the first round's size when set. See StopRule.
+	Stop *StopRule
+	// Cache, when non-nil, is consulted before every (point, replicate)
+	// simulation and filled after: a hit substitutes the stored result
+	// for the run. Content addressing (canonical config + seed + sim
+	// epoch) guarantees hits are bit-identical to re-simulation, so
+	// results — and adaptive stopping decisions — are unchanged by the
+	// cache's state.
+	Cache *resultstore.Store
+
+	// simulate runs one configured simulation; tests inject synthetic
+	// dynamics here. nil means the real simulator.
+	simulate func(rtdbs.Config) (*rtdbs.Results, error)
 }
 
 // withDefaults fills unset knobs.
@@ -90,6 +107,15 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Confidence <= 0 || s.Confidence >= 1 {
 		s.Confidence = 0.95
+	}
+	if s.simulate == nil {
+		s.simulate = func(cfg rtdbs.Config) (*rtdbs.Results, error) {
+			sys, err := rtdbs.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return sys.Run(), nil
+		}
 	}
 	return s
 }
@@ -110,10 +136,15 @@ type Point struct {
 type PointResult struct {
 	Point Point
 	// Reps holds the replicate results in replicate order; Reps[0] ran
-	// at the point's base seed.
+	// at the point's base seed. Under a StopRule its length is the
+	// replicate count the controller actually spent on this point.
 	Reps []*rtdbs.Results
 	// Agg summarizes the replicates (mean ± CI per metric).
 	Agg Summary
+	// CacheHits and CacheMisses count how many of this point's
+	// replicates were served from Spec.Cache versus simulated (both
+	// zero when no cache was configured).
+	CacheHits, CacheMisses int
 }
 
 // First returns the replicate-0 results — the run whose seed equals the
@@ -181,60 +212,124 @@ func (s Spec) expand() []Point {
 
 // Run executes the sweep: every point × replicate on a bounded worker
 // pool, then per-point aggregation. The returned slice is in row-major
-// grid order and is identical for any Workers value.
+// grid order and is identical for any Workers value. With Spec.Stop
+// set, replication per point is decided by the adaptive controller
+// instead of the fixed Reps; with Spec.Cache set, replicates present in
+// the store are served from it instead of being simulated. Neither
+// changes the results a given (point, replicate) contributes.
 func Run(s Spec) ([]PointResult, error) {
 	s = s.withDefaults()
 	points := s.expand()
 	results := make([]PointResult, len(points))
 	for i := range results {
-		results[i] = PointResult{Point: points[i], Reps: make([]*rtdbs.Results, s.Reps)}
+		results[i] = PointResult{Point: points[i]}
 	}
 
-	type job struct{ point, rep int }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for w := 0; w < s.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				cfg := cloneConfig(results[j.point].Point.Config)
-				// Seeds derive from the point's own config, so an axis
-				// may sweep Seed itself; points that leave it alone
-				// share replicate seeds (common random numbers).
-				cfg.Seed = ReplicateSeed(cfg.Seed, j.rep)
-				sys, err := rtdbs.New(cfg)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("runner: point %s rep %d: %w",
-							results[j.point].Point.Key, j.rep, err)
-					}
-					mu.Unlock()
-					continue
-				}
-				// Each (point, rep) owns its slot: no lock needed.
-				results[j.point].Reps[j.rep] = sys.Run()
-			}
-		}()
-	}
-	for pi := range points {
-		for r := 0; r < s.Reps; r++ {
-			jobs <- job{pi, r}
+	if s.Stop != nil {
+		if err := runAdaptive(s, results); err != nil {
+			return nil, err
 		}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	} else {
+		jobs := make([]job, 0, len(points)*s.Reps)
+		for pi := range points {
+			for r := 0; r < s.Reps; r++ {
+				jobs = append(jobs, job{pi, r})
+			}
+		}
+		if err := runJobs(s, results, jobs); err != nil {
+			return nil, err
+		}
 	}
 
 	for i := range results {
 		results[i].Agg = Summarize(results[i].Reps, s.Confidence)
 	}
 	return results, nil
+}
+
+// job identifies one (point, replicate) simulation.
+type job struct{ point, rep int }
+
+// runJobs executes the given jobs on a bounded worker pool, writing
+// each result into results[j.point].Reps[j.rep] (slices are grown as
+// needed before any worker starts, so every job owns its slot without
+// locking). Cache lookups and fills happen here, with per-point hit and
+// miss counts folded in single-threaded after the pool drains.
+func runJobs(s Spec, results []PointResult, jobs []job) error {
+	for _, j := range jobs {
+		for len(results[j.point].Reps) <= j.rep {
+			results[j.point].Reps = append(results[j.point].Reps, nil)
+		}
+	}
+	hits := make([]bool, len(jobs))
+
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < s.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range ch {
+				j := jobs[ji]
+				cfg := cloneConfig(results[j.point].Point.Config)
+				// Seeds derive from the point's own config, so an axis
+				// may sweep Seed itself; points that leave it alone
+				// share replicate seeds (common random numbers).
+				cfg.Seed = ReplicateSeed(cfg.Seed, j.rep)
+				var key resultstore.Key
+				if s.Cache != nil {
+					key = resultstore.KeyFor(cfg)
+					if res, ok := s.Cache.Get(key); ok {
+						results[j.point].Reps[j.rep] = res
+						hits[ji] = true
+						continue
+					}
+				}
+				res, err := s.simulate(cfg)
+				if err != nil {
+					fail(fmt.Errorf("runner: point %s rep %d: %w",
+						results[j.point].Point.Key, j.rep, err))
+					continue
+				}
+				if s.Cache != nil {
+					// A store write failure (full disk, permissions)
+					// must not discard a successful simulation: the
+					// store degrades to pass-through and counts the
+					// failure in its stats, mirroring how corrupt
+					// entries degrade to misses on the read side.
+					_ = s.Cache.Put(key, res)
+				}
+				results[j.point].Reps[j.rep] = res
+			}
+		}()
+	}
+	for ji := range jobs {
+		ch <- ji
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if s.Cache != nil {
+		for ji, hit := range hits {
+			if hit {
+				results[jobs[ji].point].CacheHits++
+			} else {
+				results[jobs[ji].point].CacheMisses++
+			}
+		}
+	}
+	return nil
 }
 
 // RunMany executes reps replicates of a single configuration (a sweep

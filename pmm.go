@@ -28,6 +28,7 @@ import (
 	"pmm/internal/core"
 	"pmm/internal/disk"
 	"pmm/internal/query"
+	"pmm/internal/resultstore"
 	"pmm/internal/rtdbs"
 	"pmm/internal/runner"
 	"pmm/internal/workload"
@@ -92,6 +93,27 @@ type (
 	Stat = runner.Stat
 	// ClassStat is one per-class aggregate within a Summary.
 	ClassStat = runner.ClassStat
+	// StopRule drives adaptive (sequentially stopped) replication: set
+	// SweepSpec.Stop and points run replicates in rounds until their
+	// CIs meet the precision target instead of a fixed Reps.
+	StopRule = runner.StopRule
+	// StopMetric names a Summary statistic a StopRule targets.
+	StopMetric = runner.Metric
+	// PairedTarget selects two values of one axis whose points stop on
+	// their paired-difference CI (common-random-number policy gaps).
+	PairedTarget = runner.PairedTarget
+)
+
+// Result-store types, aliased from internal/resultstore: the
+// content-addressed on-disk cache of per-replicate simulation results.
+type (
+	// ResultStore caches per-replicate results keyed by (canonical
+	// config, seed, simulation epoch); set SweepSpec.Cache to use it.
+	ResultStore = resultstore.Store
+	// ResultStoreStats is a snapshot of a store's counters.
+	ResultStoreStats = resultstore.Stats
+	// ResultKey is the content address of one simulation result.
+	ResultKey = resultstore.Key
 )
 
 // Allocation policies (paper Table 5).
@@ -173,6 +195,20 @@ func FindPoint(points []PointResult, pairs ...string) *PointResult {
 // ReplicateSeed derives the deterministic seed of replicate rep from a
 // base seed (rep 0 returns the base seed unchanged).
 func ReplicateSeed(base int64, rep int) int64 { return runner.ReplicateSeed(base, rep) }
+
+// OpenResultStore opens (creating if needed) a content-addressed result
+// store rooted at dir. Pass it as SweepSpec.Cache to make warm sweep
+// reruns near-free: every (point, replicate) already stored is served
+// from disk instead of simulated. Stores written under a different
+// simulation epoch (see ConfigKey) are emptied on open.
+func OpenResultStore(dir string) (*ResultStore, error) { return resultstore.Open(dir) }
+
+// ConfigKey returns the content address (hex SHA-256) under which cfg's
+// simulation result is cached: the hash of the canonical configuration
+// — defaults applied, policy-irrelevant fields dropped — salted with
+// the simulation epoch, so any change to simulator semantics
+// invalidates stored results. Equal keys guarantee bit-identical runs.
+func ConfigKey(cfg Config) string { return resultstore.KeyFor(cfg).String() }
 
 // DefaultDiskParams returns the paper's Table 3 disk configuration.
 func DefaultDiskParams() DiskParams { return disk.DefaultParams() }
