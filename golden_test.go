@@ -64,6 +64,66 @@ func TestGoldenKernelDigests(t *testing.T) {
 	}
 }
 
+// TestGoldenTimerCancelDigests pins the digest contract for a
+// timer-cancel-heavy workload: the baseline class overloaded to 2.5× its
+// nominal rate (so most queries blow their firm deadlines and are
+// Interrupted mid-hold, each abort cancelling the pending hold timer)
+// with deadline-driven pacing enabled (every pacing park arms an urgency
+// timer that is Stopped when the park ends). The run is dominated by
+// Timer.Stop tombstones surfacing in the event queue, so it pins the
+// kernel's lazy-cancellation skipping specifically — a queue-structure
+// change must reproduce the exact live-event order through dense
+// tombstone traffic, not just through clean schedules. Constants
+// captured on the 4-ary-heap kernel before the timing-wheel refactor.
+func TestGoldenTimerCancelDigests(t *testing.T) {
+	golden := []struct {
+		name                               string
+		pol                                pmm.PolicyConfig
+		steps                              uint64
+		arrived, completed, missed, events int
+		missRatio                          string
+	}{
+		{"Max", pmm.PolicyConfig{Kind: pmm.PolicyMax}, 660174, 151, 35, 103, 138, "0.746376811594"},
+		{"MinMax", pmm.PolicyConfig{Kind: pmm.PolicyMinMax}, 1336843, 151, 15, 122, 137, "0.890510948905"},
+		{"PMM", pmm.PolicyConfig{Kind: pmm.PolicyPMM}, 853199, 151, 29, 108, 137, "0.788321167883"},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := pmm.BaselineConfig()
+			cfg.Seed = 42
+			cfg.Duration = 1500
+			cfg.Classes[0].ArrivalRate = 0.10
+			cfg.PaceFactor = 1
+			cfg.Policy = g.pol
+			sys, err := pmm.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := sys.Run()
+			if got := sys.Kernel().Steps(); got != g.steps {
+				t.Errorf("kernel steps = %d, want %d", got, g.steps)
+			}
+			if r.Arrived != g.arrived {
+				t.Errorf("arrived = %d, want %d", r.Arrived, g.arrived)
+			}
+			if r.Completed != g.completed {
+				t.Errorf("completed = %d, want %d", r.Completed, g.completed)
+			}
+			if r.Missed != g.missed {
+				t.Errorf("missed = %d, want %d", r.Missed, g.missed)
+			}
+			if got := len(r.Events); got != g.events {
+				t.Errorf("termination events = %d, want %d", got, g.events)
+			}
+			if got := fmt.Sprintf("%.12f", r.MissRatio); got != g.missRatio {
+				t.Errorf("miss ratio = %s, want %s", got, g.missRatio)
+			}
+		})
+	}
+}
+
 // TestGoldenPhaseShiftDigests pins the same digest contract for a
 // phase-shifting (dynamic arrival-rate) workload: three cycling phases
 // that ramp the class rate down, up, and off. The source processes drive

@@ -250,9 +250,9 @@ func (s *System) launch(q *query.Query) {
 	f.e.P = q.Proc
 	// The abort event deliberately fires even for queries that finish
 	// early (it checks Finished and does nothing): cancelling it on
-	// completion would change the executed-event trace, and with the
-	// kernel's lazy cancellation the pending tombstone costs no heap
-	// maintenance either way.
+	// completion would change the executed-event trace, and the pending
+	// entry just waits in its timing-wheel bucket until its tick drains
+	// either way.
 	s.k.At(q.Deadline-s.k.Now(), func() {
 		if !q.Finished {
 			q.Proc.Interrupt()

@@ -28,6 +28,62 @@ func BenchmarkKernelChurn(b *testing.B) {
 	k.Drain()
 }
 
+// BenchmarkTimerChurn is the schedule/cancel-heavy variant of
+// BenchmarkKernelChurn: the pacing + firm-deadline pattern where most
+// armed timers never fire. Each iteration schedules three timers at
+// distinct future times, cancels two, and executes one, so the queue
+// sees two tombstones per live event.
+func BenchmarkTimerChurn(b *testing.B) {
+	k := NewKernel()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		k.At(0.5, fn)
+	}
+	k.Drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1 := k.At(0.5, fn)
+		t2 := k.At(1.5, fn)
+		k.At(1, fn)
+		t1.Stop()
+		t2.Stop()
+		k.Step()
+	}
+	b.StopTimer()
+	k.Drain()
+}
+
+// BenchmarkFarFuture measures events scheduled beyond the wheel
+// horizon (delays of ~160 simulated years), cancelled before firing: a
+// distant-timeout pattern. Both the pending entries and the
+// cancellation tombstones must stay allocation-free in steady state.
+func BenchmarkFarFuture(b *testing.B) {
+	k := NewKernel()
+	fn := func() {}
+	// Two long-lived anchor timers keep the front registers (and, via
+	// the first displacement, the wheel) occupied, so the measured
+	// far-future events actually exercise the far heap instead of
+	// being absorbed by the two-entry register bank.
+	k.At(6e7, fn)
+	k.At(6e7, fn)
+	// Warm the far heap's backing array and its compaction path.
+	for i := 0; i < 64; i++ {
+		t := k.At(5e9, fn)
+		t.Stop()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := k.At(5e9, fn) // beyond the horizon → far heap
+		k.At(1, fn)
+		t.Stop() // far tombstone; periodic compaction reclaims
+		k.Step() // fires the near event
+	}
+	b.StopTimer()
+	k.Drain()
+}
+
 // BenchmarkKernelZeroDelay measures the same-timestamp handoff pattern
 // (spawn turns, wakes, gate grants): schedule at delay 0, execute.
 func BenchmarkKernelZeroDelay(b *testing.B) {

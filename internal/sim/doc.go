@@ -3,18 +3,23 @@
 // language the original paper used.
 //
 // The kernel owns a virtual clock and an event queue ordered by
-// (time, insertion sequence).  Processes are goroutines that cooperate
-// with the kernel: exactly one of {kernel, some process} runs at any
-// instant, with handoffs over unbuffered channels, so simulations are
-// fully deterministic for a fixed seed and schedule.
+// (time, insertion sequence).  Processes cooperate with the kernel:
+// exactly one of {kernel, some process} runs at any instant, so
+// simulations are fully deterministic for a fixed seed and schedule.
 //
-// The scheduling core is allocation-free in steady state: event records
-// are pooled and recycled, timed events sit in a concrete 4-ary heap of
-// plain-data items, cancellation is lazy (tombstones skipped on pop
-// instead of heap removals), and zero-delay events — process turns,
-// wakes, gate grants — bypass the heap through a same-timestamp FIFO
-// fast lane.  See kernel.go for the ordering argument; the observable
-// contract is unchanged: events fire in exact (time, sequence) order.
+// The scheduling core is allocation-free in steady state and built
+// around a hierarchical timing wheel rather than a priority heap: event
+// records are pooled and recycled, timed events hang in intrusive
+// per-bucket lists on a multi-level wheel (power-of-two bucket widths,
+// cascading overflow levels, a far-future heap beyond the outermost
+// horizon), a two-entry front register bank serves sparse schedules
+// without touching the wheel at all, and zero-delay events — process
+// turns, wakes, gate grants — bypass everything through a
+// same-timestamp FIFO fast lane.  Scheduling and cancellation are O(1);
+// the wheel advances by draining whole buckets, sorted in one batched
+// pass.  See kernel.go and wheel.go for the ordering argument; the
+// observable contract is unchanged: events fire in exact
+// (time, sequence) order.
 //
 // Processes block with Hold (advance local time), Park (wait for an
 // external Wake), or by queueing on a Server.  Any blocked process can be

@@ -1,40 +1,57 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // The kernel's scheduling core is allocation-free in steady state:
 //
-//   - Event records live in a pooled slot arena (slots + free list).
-//     Scheduling reuses a freed slot instead of heap-allocating, so after
-//     warmup At/Stop/Step never allocate.
-//   - The pending-event queue is a concrete 4-ary heap of plain-data
-//     items ordered by (time, scheduling sequence) — no interface
-//     dispatch, no per-element heap-index bookkeeping.
-//   - Timer.Stop cancels lazily: it retires the slot and leaves the
-//     queue entry behind as a stale tombstone that pops are skipped
-//     over, instead of paying a heap removal sift.
+//   - Event records live in a pooled slot arena. Scheduling reuses a
+//     freed slot instead of heap-allocating (the free list is threaded
+//     through the slots themselves), so after warmup At/Stop/Step never
+//     allocate.
+//   - Timed events sit in a hierarchical timing wheel (wheel.go):
+//     power-of-two bucket widths, cascading overflow levels, and a
+//     far-future heap for events beyond the outermost horizon. Buckets
+//     are intrusive doubly-linked lists threaded through the event
+//     slots, so insert and cancel are O(1) pointer splices and carry no
+//     per-bucket storage; advancing drains whole buckets at a time.
+//   - Cancellation unlinks wheel entries in place. Only entries that
+//     already left the wheel for a drain batch (or sit in the zero-delay
+//     lane or the far-future heap) cancel lazily, as stale tombstones
+//     recognized by a sequence check and dropped in batched sweeps.
 //   - Zero-delay events (process turns, wakes, gate grants — the
-//     dominant event kind) bypass the heap entirely through a FIFO fast
+//     dominant event kind) bypass the wheel entirely through a FIFO fast
 //     lane: they fire at the current time in scheduling order, so a
 //     plain queue preserves the (time, seq) contract.
 //
 // Slot occupancy is keyed by the event's globally unique sequence
-// number: a queue entry or Timer whose seq no longer matches its slot is
-// stale (fired, cancelled, or the slot was recycled) and is ignored.
+// number: a lane/batch/far entry or Timer whose seq no longer matches
+// its slot is stale (fired, cancelled, or the slot was recycled) and is
+// ignored.
 
-// eventSlot is one pooled event record. fn is the scheduled callback;
-// seq identifies the occupying event (noEvent when the slot is free).
+// eventSlot is one pooled event record and, for an event parked in a
+// wheel bucket, the intrusive list node of that bucket. fn is the
+// scheduled callback; seq identifies the occupying event (noEvent when
+// the slot is free); loc records where the queue entry lives (a wheel
+// bucket index or a loc* sentinel) so Stop can unlink in O(1); next
+// doubles as the free-list link of vacant slots.
 type eventSlot struct {
-	fn  func()
-	seq uint64
+	fn         func()
+	at         float64
+	seq        uint64
+	next, prev int32
+	loc        int32
 }
 
 // noEvent marks a vacant slot. Real sequence numbers are assigned from 0
 // upward and cannot reach it.
 const noEvent = ^uint64(0)
 
-// heapItem is one pending timed event. Plain data (no pointers), ordered
-// by (at, seq).
+// heapItem is one pending timed event outside the wheel: an entry of
+// the sorted drain batch or of the far-future heap. Plain data (no
+// pointers), ordered by (at, seq).
 type heapItem struct {
 	at  float64
 	seq uint64
@@ -57,8 +74,10 @@ type Timer struct {
 }
 
 // Stop cancels the timer. It reports whether the event had not yet
-// fired. The event's queue entry is not removed eagerly; it remains as a
-// stale tombstone the kernel skips when it surfaces.
+// fired. A wheel entry is unlinked from its bucket in place; an entry
+// in the lane, the drain batch, or the far-future heap becomes a stale
+// tombstone swept in batch later (far tombstones count toward that
+// heap's periodic compaction).
 func (t *Timer) Stop() bool {
 	k := t.k
 	if k == nil {
@@ -69,28 +88,66 @@ func (t *Timer) Stop() bool {
 	if s.seq != t.seq {
 		return false // already fired or cancelled
 	}
-	k.freeSlot(t.id)
+	// Front registers are searched by sequence (unique per event), so
+	// register entries need no location bookkeeping at all.
+	if n := k.regN; n > 0 && k.reg[0].seq == t.seq {
+		k.reg[0] = k.reg[1]
+		k.regN = n - 1
+	} else if n == 2 && k.reg[1].seq == t.seq {
+		k.regN = 1
+	} else {
+		k.cancel(t.id, s)
+	}
+	k.freeSlot(t.id, s)
 	return true
 }
 
 // Kernel is the simulation engine: a virtual clock plus an event queue.
 // The zero value is not usable; call NewKernel.
 type Kernel struct {
-	now   float64
-	seq   uint64
-	steps uint64
-	procs int // live processes, for leak detection in tests
+	// Hot scalars first, so the scheduling fast paths touch one or two
+	// cache lines of the kernel itself.
+	now      float64
+	seq      uint64
+	steps    uint64 // events executed
+	curTick  uint64 // wheel position, ≤ every wheel/far event's tick
+	freeHead int32  // vacant-slot list through slot.next (LIFO keeps hot slots cache-warm)
+	occ      uint32 // summary bitmap of outer levels with occupied slots
+	chead    int    // first unconsumed cur index
+	lhead    int    // first unconsumed lane index
+
+	// Front registers: the regN globally earliest timed events, kept
+	// ahead of the wheel (reg[0] ≤ reg[1] ≤ every wheel/batch/far
+	// entry). Sparse schedules — a handful of pending timers, the
+	// common case between bursts — run entirely on these two fixed
+	// slots: insert is a compare-and-shift, cancel removes by sequence
+	// match, and firing never touches a bucket. Registers hold no
+	// tombstones, so their entries are always live.
+	reg  [2]heapItem
+	regN int32
 
 	slots []eventSlot // pooled event records
-	free  []int32     // vacant slot ids (LIFO keeps hot slots cache-warm)
-	heap  []heapItem  // 4-ary min-heap of timed events
 	lane  []laneItem  // FIFO of zero-delay events at the current time
-	lhead int         // first unconsumed lane index
+
+	// Timed events: hierarchical timing wheel, current drain batch, and
+	// far-future overflow heap. See wheel.go for the structure and the
+	// ordering argument.
+	cur   []heapItem          // current drain batch, sorted by (at, seq)
+	masks [wheelLevels]uint64 // per-level slot-occupancy bitmaps
+	bhead [wheelBuckets]int32 // per-bucket list heads (slot ids, -1 empty)
+	far   []heapItem          // 4-ary min-heap of events beyond the horizon
+
+	farDead int // cancelled entries still inside far
+	procs   int // live processes, for leak detection in tests
 }
 
 // NewKernel returns a kernel with the clock at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	k := &Kernel{freeHead: -1}
+	for i := range k.bhead {
+		k.bhead[i] = -1
+	}
+	return k
 }
 
 // Now returns the current simulation time in seconds.
@@ -102,12 +159,15 @@ func (k *Kernel) Steps() uint64 { return k.steps }
 // LiveProcs returns the number of spawned processes that have not finished.
 func (k *Kernel) LiveProcs() int { return k.procs }
 
-// freeSlot vacates a slot and recycles it.
-func (k *Kernel) freeSlot(id int32) {
-	s := &k.slots[id]
+// freeSlot vacates a slot and recycles it onto the intrusive free list.
+// loc is left stale: every reader is guarded by a seq check, and the
+// only path that occupies a slot without filing a location (the lane,
+// in At) resets it explicitly.
+func (k *Kernel) freeSlot(id int32, s *eventSlot) {
 	s.fn = nil
 	s.seq = noEvent
-	k.free = append(k.free, id)
+	s.next = k.freeHead
+	k.freeHead = id
 }
 
 // At schedules fn to run after delay simulated seconds and returns a
@@ -121,12 +181,11 @@ func (k *Kernel) At(delay float64, fn func()) Timer {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	var id int32
-	if n := len(k.free) - 1; n >= 0 {
-		id = k.free[n]
-		k.free = k.free[:n]
+	id := k.freeHead
+	if id >= 0 {
+		k.freeHead = k.slots[id].next
 	} else {
-		k.slots = append(k.slots, eventSlot{})
+		k.slots = append(k.slots, eventSlot{loc: locNone})
 		id = int32(len(k.slots) - 1)
 	}
 	seq := k.seq
@@ -137,79 +196,182 @@ func (k *Kernel) At(delay float64, fn func()) Timer {
 	if delay == 0 {
 		// Same-timestamp fast lane. Lane entries always fire before the
 		// clock can advance (nothing can be scheduled earlier than now),
-		// so their time needs no storage and no heap ordering.
+		// so their time needs no storage and no wheel ordering. loc must
+		// be reset here: the recycled slot may carry a stale bucket
+		// index, and a lane timer's Stop must not unlink anything.
+		s.loc = locNone
 		k.lane = append(k.lane, laneItem{seq: seq, id: id})
 	} else {
-		k.heapPush(heapItem{at: k.now + delay, seq: seq, id: id})
+		it := heapItem{at: k.now + delay, seq: seq, id: id}
+		if n := k.regN; n > 0 && heapLess(it, k.reg[n-1]) {
+			// The event beats a front register: shift it in, displacing
+			// the current maximum register to the wheel when both are
+			// occupied. Registers stay ≤ everything behind them.
+			if n == 1 {
+				k.reg[1] = k.reg[0]
+				k.reg[0] = it
+				k.regN = 2
+			} else {
+				r := k.reg[1]
+				k.wheelSched(r.at, r.seq, r.id, &k.slots[r.id])
+				if heapLess(it, k.reg[0]) {
+					k.reg[1] = k.reg[0]
+					k.reg[0] = it
+				} else {
+					k.reg[1] = it
+				}
+			}
+		} else if n < 2 && k.timedEmpty() {
+			// Nothing is pending behind the registers, so the new event
+			// joins them as the current maximum.
+			k.reg[n] = it
+			k.regN = n + 1
+		} else {
+			k.wheelSched(it.at, seq, id, s)
+		}
 	}
 	return Timer{k: k, id: id, seq: seq}
 }
 
-// skipStale advances past cancelled entries at the lane head and the
-// heap root, so both fronts are live (or exhausted) afterwards.
-func (k *Kernel) skipStale() (hasLane, hasHeap bool) {
+// skipStaleLane advances past cancelled entries at the lane head,
+// reporting whether a live lane event is pending.
+func (k *Kernel) skipStaleLane() bool {
 	for k.lhead < len(k.lane) {
 		l := k.lane[k.lhead]
 		if k.slots[l.id].seq == l.seq {
-			hasLane = true
-			break
+			return true
 		}
 		k.lhead++
 	}
-	if !hasLane && len(k.lane) > 0 {
+	if len(k.lane) > 0 {
+		k.resetLane()
+	}
+	return false
+}
+
+// laneShrinkCap bounds the lane capacity kept across a full drain: a
+// backing array beyond this that the last burst left mostly unused is
+// released instead of pinned forever.
+const laneShrinkCap = 256
+
+// resetLane reclaims the fully drained lane. Entries only append
+// between resets, so len(k.lane) is the high-water mark of the cycle
+// just drained: a large backing array that this cycle left under a
+// quarter full is dropped (the next burst re-sizes organically) rather
+// than pinning its one-off high-water capacity for the rest of the run.
+func (k *Kernel) resetLane() {
+	if cap(k.lane) > laneShrinkCap && len(k.lane) <= cap(k.lane)/4 {
+		k.lane = nil
+	} else {
 		k.lane = k.lane[:0]
-		k.lhead = 0
 	}
-	for len(k.heap) > 0 {
-		r := k.heap[0]
-		if k.slots[r.id].seq == r.seq {
-			hasHeap = true
-			break
-		}
-		k.heapPopRoot()
-	}
-	return hasLane, hasHeap
+	k.lhead = 0
 }
 
-// pop removes and returns the next live event in (time, seq) order.
-func (k *Kernel) pop() (id int32, at float64, ok bool) {
-	hasLane, hasHeap := k.skipStale()
-	switch {
-	case !hasLane && !hasHeap:
-		return 0, 0, false
-	case hasLane && (!hasHeap ||
-		!(k.heap[0].at == k.now && k.heap[0].seq < k.lane[k.lhead].seq)):
-		// Lane entries fire at the current time; the heap wins only with
-		// an equal-time event scheduled earlier (e.g. a positive delay
-		// that underflowed to the current instant).
-		l := k.lane[k.lhead]
-		k.lhead++
-		if k.lhead == len(k.lane) {
-			// Reclaim the consumed prefix eagerly: a steady stream of
-			// zero-delay events must not grow the lane without bound.
-			k.lane = k.lane[:0]
-			k.lhead = 0
-		}
-		return l.id, k.now, true
-	default:
-		r := k.heapPopRoot()
-		return r.id, r.at, true
-	}
-}
-
-// Step executes the next pending event, advancing the clock.
-// It reports whether an event was executed.
+// Step executes the next pending event — the live event earliest in
+// (time, seq) order — advancing the clock. It reports whether an event
+// was executed.
 func (k *Kernel) Step() bool {
-	id, at, ok := k.pop()
-	if !ok {
-		return false
+	hasLane := k.skipStaleLane()
+	var laneSeq uint64
+	if hasLane {
+		laneSeq = k.lane[k.lhead].seq
 	}
-	if at < k.now {
-		panic("sim: event scheduled in the past")
+	// Timed head: the front registers hold the earliest timed events;
+	// behind them the batch is skipped of tombstones and reloaded from
+	// the wheel as it drains. Lane entries fire at the current time, so
+	// a timed event wins only when it carries an equal time and an
+	// earlier sequence (e.g. a positive delay that underflowed to the
+	// current instant).
+	for {
+		if k.regN > 0 {
+			it := k.reg[0]
+			if hasLane && !(it.at == k.now && it.seq < laneSeq) {
+				break
+			}
+			if it.at < k.now {
+				panic("sim: event scheduled in the past")
+			}
+			k.reg[0] = k.reg[1]
+			k.regN--
+			k.now = it.at
+			s := &k.slots[it.id]
+			fn := s.fn
+			k.freeSlot(it.id, s)
+			k.steps++
+			fn()
+			return true
+		}
+		if k.chead < len(k.cur) {
+			it := k.cur[k.chead]
+			if k.slots[it.id].seq != it.seq {
+				k.chead++
+				continue
+			}
+			if hasLane && !(it.at == k.now && it.seq < laneSeq) {
+				break // the lane entry is earlier in (time, seq) order
+			}
+			if it.at < k.now {
+				panic("sim: event scheduled in the past")
+			}
+			k.chead++
+			k.now = it.at
+			s := &k.slots[it.id]
+			fn := s.fn
+			k.freeSlot(it.id, s)
+			k.steps++
+			fn()
+			return true
+		}
+		// Batch exhausted. With no outer-level or far-future events
+		// pending, the earliest occupied level-0 bucket is the global
+		// minimum; when it holds a single event — the common sparse
+		// case — fire it directly, skipping the batch round-trip.
+		if k.occ == 0 && len(k.far) == 0 {
+			m := k.masks[0]
+			if m == 0 {
+				if hasLane {
+					break
+				}
+				return false
+			}
+			c := int(k.curTick & slotMask)
+			t0 := k.curTick + uint64(bits.TrailingZeros64(bits.RotateLeft64(m, -c)))
+			idx := int(t0 & slotMask)
+			id := k.bhead[idx]
+			if s := &k.slots[id]; s.next < 0 {
+				if hasLane && !(s.at == k.now && s.seq < laneSeq) {
+					break
+				}
+				if s.at < k.now {
+					panic("sim: event scheduled in the past")
+				}
+				k.curTick = t0
+				k.bhead[idx] = -1
+				k.masks[0] = m &^ (1 << uint(idx))
+				k.now = s.at
+				fn := s.fn
+				k.freeSlot(id, s)
+				k.steps++
+				fn()
+				return true
+			}
+		}
+		if !k.loadCur() {
+			if hasLane {
+				break
+			}
+			return false
+		}
 	}
-	k.now = at
-	fn := k.slots[id].fn
-	k.freeSlot(id)
+	l := k.lane[k.lhead]
+	k.lhead++
+	if k.lhead == len(k.lane) {
+		k.resetLane()
+	}
+	s := &k.slots[l.id]
+	fn := s.fn
+	k.freeSlot(l.id, s)
 	k.steps++
 	fn()
 	return true
@@ -220,12 +382,17 @@ func (k *Kernel) Step() bool {
 // Events scheduled exactly at `until` do run.
 func (k *Kernel) Run(until float64) {
 	for {
-		hasLane, hasHeap := k.skipStale()
-		if hasLane {
+		if k.skipStaleLane() {
 			if k.now > until {
 				break
 			}
-		} else if !hasHeap || k.heap[0].at > until {
+		} else if k.regN > 0 {
+			// Peek inline: the front register holds the earliest timed
+			// event, so the boundary check needs no full reload.
+			if k.reg[0].at > until {
+				break
+			}
+		} else if timed, ok := k.nextTimed(); !ok || timed.at > until {
 			break
 		}
 		k.Step()
@@ -244,56 +411,4 @@ func (k *Kernel) Drain() {
 // heapLess orders pending events by time, then scheduling sequence.
 func heapLess(a, b heapItem) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
-}
-
-// heapPush inserts an item into the 4-ary min-heap.
-func (k *Kernel) heapPush(it heapItem) {
-	h := append(k.heap, it)
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !heapLess(it, h[parent]) {
-			break
-		}
-		h[i] = h[parent]
-		i = parent
-	}
-	h[i] = it
-	k.heap = h
-}
-
-// heapPopRoot removes and returns the heap minimum.
-func (k *Kernel) heapPopRoot() heapItem {
-	h := k.heap
-	root := h[0]
-	n := len(h) - 1
-	last := h[n]
-	h = h[:n]
-	k.heap = h
-	if n > 0 {
-		i := 0
-		for {
-			c := 4*i + 1
-			if c >= n {
-				break
-			}
-			m := c
-			end := c + 4
-			if end > n {
-				end = n
-			}
-			for j := c + 1; j < end; j++ {
-				if heapLess(h[j], h[m]) {
-					m = j
-				}
-			}
-			if !heapLess(h[m], last) {
-				break
-			}
-			h[i] = h[m]
-			i = m
-		}
-		h[i] = last
-	}
-	return root
 }

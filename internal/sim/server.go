@@ -8,7 +8,10 @@ package sim
 //
 // The service hot path is allocation-free: completion callbacks are
 // bound once at construction and the in-flight request is carried in
-// Server fields rather than per-dispatch closures. The two completion
+// Server fields rather than per-dispatch closures. Completion timers
+// are never cancelled (service is uncancellable), so they ride the
+// kernel's fastest timed path end to end — typically the front
+// registers or a level-0 wheel bucket. The two completion
 // paths deliberately differ in ordering — a direct serve dispatches the
 // next request before waking its caller, while a queued completion wakes
 // the served process first — preserving the event order of the original

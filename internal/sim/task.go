@@ -39,7 +39,10 @@ const (
 	// cancelNone marks an uncancellable section (e.g. a disk transfer);
 	// interrupts are deferred to its completion.
 	cancelNone cancelKind = iota
-	// cancelTimer: the wait is a Hold; cancelling stops the hold timer.
+	// cancelTimer: the wait is a Hold; cancelling stops the hold timer,
+	// which unlinks the pending wake from its timing-wheel bucket in
+	// place — interrupt-heavy workloads (firm-deadline aborts) leave no
+	// tombstone debris in the event queue.
 	cancelTimer
 	// cancelGate: the wait is a Gate queue entry; cancelling unlinks
 	// the embedded wait record from its gate.

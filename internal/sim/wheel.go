@@ -1,0 +1,484 @@
+package sim
+
+import "math/bits"
+
+// Hierarchical timing wheel for timed events.
+//
+// Continuous simulation time is quantized into power-of-two ticks
+// (tickScale ticks per simulated second; scaling by a power of two is
+// exact in float64, so the quantization is deterministic). The wheel has
+// wheelLevels levels of wheelSlots buckets each; a level-L bucket spans
+// wheelSlots^L ticks, so level 0 resolves single ticks (1/16 s) and the
+// outermost level spans ~12 simulated days per bucket, for a total
+// horizon of ~2 simulated years ahead of the wheel position. Events
+// beyond the horizon overflow into a plain 4-ary min-heap (`far`) and
+// migrate into the wheel once the position advances to within a horizon
+// of them.
+//
+// A bucket is an intrusive doubly-linked list threaded through the
+// pooled event slots (eventSlot.next/prev), with just a head id per
+// bucket: scheduling is a push-front splice, Timer.Stop on a wheel
+// entry is an O(1) unlink (no tombstone left behind), and neither
+// carries any per-bucket storage to allocate or sweep. List order is
+// irrelevant — every drain sorts by (at, seq) anyway.
+//
+// An event at tick t is filed at the innermost level whose slot distance
+// from the wheel position curTick is under wheelSlots, in slot
+// (t >> (slotBits·L)) & slotMask. Each event cascades down at most
+// wheelLevels-1 times as the position enters its successively finer
+// windows, so the total scheduling work is O(1) amortized per event —
+// there is no per-event sift against the whole queue as with a heap.
+// The tick is deliberately coarse: the second-scale delays that
+// dominate simulation schedules (arrival draws, service completions,
+// deadline holds) fit level 0 directly and never cascade at all, while
+// events sharing a tick simply batch into one bucket and come out
+// through the same (at, seq) sort that a drain performs anyway.
+//
+// The exact (time, seq) total order of the old heap is preserved:
+//
+//   - Buckets at distinct level-0 ticks order strictly by time, because
+//     tick quantization is monotone in `at`.
+//   - The bucket being drained is sorted by (at, seq) in one batched
+//     pass (loadCur), and events scheduled into the already-loaded
+//     range merge in sorted position (curInsert).
+//   - A higher-level bucket whose window starts at or before the next
+//     level-0 tick is cascaded before that tick is drained, so an
+//     equal-tick event can never be stranded at an outer level.
+//   - Far-heap events always sort after every wheel event: both are
+//     bounded by the wheel's aligned horizon from opposite sides.
+const (
+	tickScale  = 16.0 // ticks per simulated second (2^4: exact scaling)
+	slotBits   = 6
+	wheelSlots = 1 << slotBits // 64 buckets per level
+	slotMask   = wheelSlots - 1
+	// wheelLevels of wheelSlots buckets each: horizon = 64^5 ticks
+	// ≈ 2^26 simulated seconds (~2.1 years) ahead of the wheel position.
+	wheelLevels  = 5
+	wheelBuckets = wheelLevels * wheelSlots
+	// maxTick clamps the quantization of astronomically distant times so
+	// the float→uint64 conversion stays defined; events past the clamp
+	// share one bucket and are ordered by the exact (at, seq) sort.
+	maxTick = uint64(1) << 62
+	// farCompactMin: the far heap is compacted in place once cancelled
+	// entries outnumber live ones and it is at least this large.
+	farCompactMin = 32
+	// gatherTarget bounds how many events one wheel advance batches into
+	// the drain buffer: enough to amortize the advance machinery across
+	// a group of events, small enough that merging a late-scheduled
+	// event into the sorted batch stays a trivial memmove.
+	gatherTarget = 8
+)
+
+// Queue locations recorded in eventSlot.loc. Non-negative values are
+// wheel bucket indexes (level<<slotBits | slot), where the entry is an
+// intrusive list node Stop unlinks in place; the sentinels mark entries
+// that cancel lazily (tombstones swept at their queue's head or
+// compaction).
+const (
+	locNone = -1 // fast lane, or no queue entry
+	locCur  = -2 // in the loaded drain batch
+	locFar  = -3 // in the far-future heap
+)
+
+// tickOf quantizes a simulation time to its wheel tick.
+func tickOf(at float64) uint64 {
+	t := at * tickScale
+	if t >= float64(maxTick) {
+		return maxTick
+	}
+	return uint64(t)
+}
+
+// wheelLevelFor returns the wheel level for an event at tick t
+// (t > curTick), or ok=false when t lies beyond the outermost horizon
+// and belongs in the far heap. The level is the innermost one whose
+// slot distance from curTick fits the wheel; the bits.Len64 guess is
+// one level low exactly when the distance straddles a slot boundary.
+func (k *Kernel) wheelLevelFor(t uint64) (int, bool) {
+	delta := t - k.curTick
+	if delta < wheelSlots {
+		return 0, true
+	}
+	g := (bits.Len64(delta) - 1) / slotBits
+	if g < wheelLevels && (t>>(slotBits*g))-(k.curTick>>(slotBits*g)) >= wheelSlots {
+		g++
+	}
+	if g >= wheelLevels {
+		return 0, false
+	}
+	return g, true
+}
+
+// link splices slot id (its record s, holding time at) onto the front
+// of bucket idx and marks the bucket occupied. A head node's prev field
+// is never read (unlinking compares against the bucket head instead),
+// so only a demoted head gets its prev written — push-front costs four
+// stores.
+func (k *Kernel) link(idx int, at float64, id int32, s *eventSlot) {
+	s.at = at
+	s.loc = int32(idx)
+	h := k.bhead[idx]
+	s.next = h
+	if h >= 0 {
+		k.slots[h].prev = id
+	}
+	k.bhead[idx] = id
+	k.masks[idx>>slotBits] |= 1 << uint(idx&slotMask)
+}
+
+// wheelPut files an event into its bucket at the given level.
+func (k *Kernel) wheelPut(lvl int, t uint64, at float64, id int32, s *eventSlot) {
+	slot := (t >> (slotBits * lvl)) & slotMask
+	if lvl != 0 {
+		k.occ |= 1 << lvl
+	}
+	k.link(lvl<<slotBits|int(slot), at, id, s)
+}
+
+// timedEmpty reports whether no timed events are pending behind the
+// front registers (wheel, far heap, and drain batch all empty).
+func (k *Kernel) timedEmpty() bool {
+	return k.masks[0] == 0 && k.occ == 0 && len(k.far) == 0 && k.chead == len(k.cur)
+}
+
+// wheelSched files a timed event that missed (or was displaced from)
+// the front registers: the dominant near-delay case goes straight to
+// level 0, everything else through schedule. The single unsigned
+// comparison rejects both t ≤ curTick (which wraps) and far deltas.
+func (k *Kernel) wheelSched(at float64, seq uint64, id int32, s *eventSlot) {
+	if k.timedEmpty() {
+		// First timed event behind the registers. During a
+		// register-served stretch the wheel position is not advanced, so
+		// re-anchor it to the clock before filing — otherwise the
+		// accumulated lag inflates the delta and a short delay would
+		// land at a needlessly outer level (or, after a long stretch,
+		// in the far heap).
+		if t := tickOf(k.now); t > k.curTick {
+			k.curTick = t
+		}
+	}
+	t := tickOf(at)
+	if d := t - k.curTick; d-1 < wheelSlots-1 {
+		k.link(int(t&slotMask), at, id, s)
+	} else {
+		k.schedule(at, t, seq, id, s)
+	}
+}
+
+// schedule files a timed event at tick t into the queue when it missed
+// the level-0 case: into the sorted drain batch when it lands at or
+// behind the wheel position (the position can sit ahead of the clock
+// once a bucket is loaded), into an outer wheel bucket within the
+// horizon, or into the far-future heap beyond it.
+func (k *Kernel) schedule(at float64, t uint64, seq uint64, id int32, s *eventSlot) {
+	if t <= k.curTick {
+		s.loc = locCur
+		k.curInsert(heapItem{at: at, seq: seq, id: id})
+		return
+	}
+	lvl, ok := k.wheelLevelFor(t)
+	if !ok {
+		s.loc = locFar
+		k.farPush(heapItem{at: at, seq: seq, id: id})
+		return
+	}
+	k.wheelPut(lvl, t, at, id, s)
+}
+
+// cancel performs Timer.Stop's queue-side work for the entry in slot s:
+// a wheel entry is unlinked from its bucket in place (clearing the
+// bucket's occupancy bit when it empties), a far-heap entry counts
+// toward that heap's periodic compaction, and lane or drain-batch
+// entries are left as tombstones their queue head skips.
+func (k *Kernel) cancel(id int32, s *eventSlot) {
+	loc := s.loc
+	if loc >= 0 {
+		if k.bhead[loc] == id {
+			// Head unlink; the new head's prev is never read.
+			if k.bhead[loc] = s.next; s.next < 0 {
+				lvl := int(loc) >> slotBits
+				if k.masks[lvl] &^= 1 << uint(int(loc)&slotMask); k.masks[lvl] == 0 && lvl != 0 {
+					k.occ &^= 1 << lvl
+				}
+			}
+		} else {
+			k.slots[s.prev].next = s.next
+			if s.next >= 0 {
+				k.slots[s.next].prev = s.prev
+			}
+		}
+		return
+	}
+	if loc == locFar {
+		k.farCancel()
+	}
+}
+
+// farCancel counts a cancelled far-heap entry and compacts the heap
+// once tombstones outnumber live entries.
+func (k *Kernel) farCancel() {
+	k.farDead++
+	if k.farDead*2 > len(k.far) && len(k.far) >= farCompactMin {
+		k.farCompact()
+	}
+}
+
+// curInsert merges an event into the sorted drain batch, preserving
+// (at, seq) order. The full comparison matters: an entry displaced
+// from the front registers can carry an earlier sequence than a batch
+// entry at the same time, and must land before it.
+func (k *Kernel) curInsert(it heapItem) {
+	if k.chead == len(k.cur) {
+		k.cur = k.cur[:0]
+		k.chead = 0
+	}
+	lo, hi := k.chead, len(k.cur)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if heapLess(it, k.cur[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	k.cur = append(k.cur, heapItem{})
+	copy(k.cur[lo+1:], k.cur[lo:])
+	k.cur[lo] = it
+}
+
+// nextTimed returns (without consuming) the earliest pending timed
+// event, skipping tombstones at the batch head and reloading from the
+// wheel as the batch drains. ok=false means no timed events remain.
+func (k *Kernel) nextTimed() (heapItem, bool) {
+	if k.regN > 0 {
+		return k.reg[0], true
+	}
+	for {
+		for k.chead < len(k.cur) {
+			it := k.cur[k.chead]
+			if k.slots[it.id].seq == it.seq {
+				return it, true
+			}
+			k.chead++
+		}
+		if k.masks[0] == 0 && k.occ == 0 && len(k.far) == 0 {
+			return heapItem{}, false
+		}
+		if !k.loadCur() {
+			return heapItem{}, false
+		}
+	}
+}
+
+// loadCur advances the wheel position to the next occupied level-0 tick
+// — cascading outer-level buckets and migrating far-future events as
+// their windows open — and loads that bucket into the drain batch,
+// sorted by (at, seq) in one pass. It reports false when no timed
+// events remain anywhere.
+func (k *Kernel) loadCur() bool {
+	k.cur = k.cur[:0]
+	k.chead = 0
+	for {
+		// Pull far-future events whose distance has shrunk inside the
+		// horizon; drop cancelled ones surfacing at the root for free.
+		for len(k.far) > 0 {
+			r := k.far[0]
+			s := &k.slots[r.id]
+			if s.seq != r.seq {
+				k.farPopRoot()
+				if k.farDead > 0 {
+					k.farDead--
+				}
+				continue
+			}
+			t := tickOf(r.at)
+			lvl, ok := k.wheelLevelFor(t)
+			if !ok {
+				break
+			}
+			k.farPopRoot()
+			k.wheelPut(lvl, t, r.at, r.id, s)
+		}
+		if k.masks[0] == 0 && k.occ == 0 {
+			if len(k.far) == 0 {
+				return false
+			}
+			// Wheel empty with far events pending: jump the position to
+			// the earliest one; the next pass migrates it (and any
+			// followers its new horizon covers) into the wheel.
+			k.curTick = tickOf(k.far[0].at)
+			continue
+		}
+		// Candidate bucket: the earliest occupied level-0 tick. Bitmap
+		// rotation turns "next occupied slot at/after the position,
+		// wrapping" into a trailing-zeros count.
+		const none = ^uint64(0)
+		t0 := none
+		if m := k.masks[0]; m != 0 {
+			c := int(k.curTick & slotMask)
+			t0 = k.curTick + uint64(bits.TrailingZeros64(bits.RotateLeft64(m, -c)))
+		}
+		// Candidate cascade: the earliest occupied outer-level window.
+		// The occupancy summary keeps this loop over live levels only.
+		csLvl := -1
+		csW := none
+		for rest := k.occ; rest != 0; rest &= rest - 1 {
+			lvl := bits.TrailingZeros32(rest)
+			pos := k.curTick >> (slotBits * lvl)
+			d := bits.TrailingZeros64(bits.RotateLeft64(k.masks[lvl], -int(pos&slotMask)))
+			if w := (pos + uint64(d)) << (slotBits * lvl); w < csW {
+				csLvl, csW = lvl, w
+			}
+		}
+		if csLvl >= 0 && csW <= t0 {
+			// Cascade before draining: the winning window may itself hold
+			// events at tick t0, which must merge into that bucket.
+			k.curTick = csW
+			k.cascade(csLvl, (csW>>(slotBits*csLvl))&slotMask)
+			continue
+		}
+		// No cascade won, so level 0 is occupied: drain bucket t0, then
+		// keep gathering near buckets into the same batch (up to
+		// gatherTarget events, never past an outer window pending its
+		// cascade). Batching pays the advance machinery once per group,
+		// and events scheduled into the gathered range afterwards merge
+		// through curInsert instead of paying a bucket round-trip. All
+		// linked entries are live (cancellation unlinks), so there is
+		// nothing to sweep.
+		for {
+			k.curTick = t0
+			idx := int(t0 & slotMask)
+			k.masks[0] &^= 1 << uint(idx)
+			for id := k.bhead[idx]; id >= 0; {
+				s := &k.slots[id]
+				s.loc = locCur
+				k.cur = append(k.cur, heapItem{at: s.at, seq: s.seq, id: id})
+				id = s.next
+			}
+			k.bhead[idx] = -1
+			if len(k.cur) >= gatherTarget {
+				break
+			}
+			m := k.masks[0]
+			if m == 0 {
+				break
+			}
+			c := int(k.curTick & slotMask)
+			t0 = k.curTick + uint64(bits.TrailingZeros64(bits.RotateLeft64(m, -c)))
+			if t0 >= csW {
+				break // the next tick sits at or past a window owed a cascade
+			}
+		}
+		// Buckets arrive in tick order and each list is short, so the
+		// insertion sort runs near-linear.
+		for i := 1; i < len(k.cur); i++ {
+			it := k.cur[i]
+			j := i - 1
+			for j >= 0 && heapLess(it, k.cur[j]) {
+				k.cur[j+1] = k.cur[j]
+				j--
+			}
+			k.cur[j+1] = it
+		}
+		return true
+	}
+}
+
+// cascade re-files one outer-level bucket after the wheel position
+// reached its window: every entry lands at least one level finer (its
+// remaining distance fits the window the position just entered).
+func (k *Kernel) cascade(lvl int, slot uint64) {
+	idx := lvl<<slotBits | int(slot)
+	if k.masks[lvl] &^= 1 << slot; k.masks[lvl] == 0 {
+		k.occ &^= 1 << lvl
+	}
+	id := k.bhead[idx]
+	k.bhead[idx] = -1
+	for id >= 0 {
+		s := &k.slots[id]
+		next := s.next
+		t := tickOf(s.at)
+		nl, _ := k.wheelLevelFor(t)
+		k.wheelPut(nl, t, s.at, id, s)
+		id = next
+	}
+}
+
+// farPush inserts an item into the far-future 4-ary min-heap.
+func (k *Kernel) farPush(it heapItem) {
+	h := append(k.far, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !heapLess(it, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = it
+	k.far = h
+}
+
+// farPopRoot removes and returns the far-heap minimum.
+func (k *Kernel) farPopRoot() heapItem {
+	h := k.far
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	k.far = h[:n]
+	if n > 0 {
+		h[n] = heapItem{}
+		k.farSiftDown(0, last)
+	}
+	return root
+}
+
+// farSiftDown sinks it from position i of the far heap.
+func (k *Kernel) farSiftDown(i int, it heapItem) {
+	h := k.far
+	n := len(h)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if heapLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !heapLess(h[m], it) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = it
+}
+
+// farCompact drops cancelled entries from the far heap in place and
+// restores the heap property. Triggered when tombstones outnumber live
+// entries, so the cost is O(1) amortized per cancellation; pop order is
+// unchanged because the heap comparison is the exact (at, seq) order.
+func (k *Kernel) farCompact() {
+	live := k.far[:0]
+	for _, it := range k.far {
+		if k.slots[it.id].seq == it.seq {
+			live = append(live, it)
+		}
+	}
+	for i := len(live); i < len(k.far); i++ {
+		k.far[i] = heapItem{}
+	}
+	k.far = live
+	k.farDead = 0
+	for i := (len(live) - 2) / 4; i >= 0; i-- {
+		k.farSiftDown(i, live[i])
+	}
+}
