@@ -51,6 +51,7 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit a JSON document with per-replicate and aggregated results")
 		conf    = flag.Float64("confidence", 0.95, "confidence level of aggregate intervals")
 		profile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (go tool pprof)")
+		memprof = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 		cache   = flag.String("cache", "", "directory of a content-addressed result store; replicates found there are not re-simulated")
 		prec    = flag.Float64("precision", 0, "adaptive replication: run replicates until the miss-ratio CI half-width is within this fraction of the mean (0 = fixed -reps)")
 		maxReps = flag.Int("max-reps", 32, "replicate cap per point under -precision")
@@ -62,8 +63,16 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProfile()
-	// fail flushes the profile before exiting, since os.Exit skips defers.
+	stopMemProfile, err := prof.StartMem(*memprof)
+	if err != nil {
+		stopProfile()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopMemProfile()
+	// fail flushes the profiles before exiting, since os.Exit skips defers.
 	fail := func(err error) {
+		stopMemProfile()
 		stopProfile()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

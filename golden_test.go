@@ -124,6 +124,75 @@ func TestGoldenTimerCancelDigests(t *testing.T) {
 	}
 }
 
+// TestGoldenDeepFrameDigests pins the digest contract for the deepest
+// inline frame stacks the simulator builds: PPHJ joins and external
+// sorts running side by side under heavy memory pressure (M cut to 800
+// pages) with deadline-driven pacing enabled. Squeezed allocations force
+// the join through partition spooling, adaptation and read-back and the
+// sort through multi-step merging with mid-merge splits, so every
+// operator frame (build/probe/flush/adapt/expand/read-back,
+// formation/emit/merge) plus the pacing and memory-wait leaf frames
+// appear on the stack together. A dispatch or frame-machinery change
+// must reproduce this order exactly, not just the shallow steady-state
+// paths. Constants captured on the closure-dispatch kernel before the
+// typed-payload refactor.
+func TestGoldenDeepFrameDigests(t *testing.T) {
+	golden := []struct {
+		name                               string
+		pol                                pmm.PolicyConfig
+		steps                              uint64
+		arrived, completed, missed, events int
+		missRatio                          string
+	}{
+		{"Max", pmm.PolicyConfig{Kind: pmm.PolicyMax}, 133331, 154, 32, 112, 144, "0.777777777778"},
+		{"MinMax", pmm.PolicyConfig{Kind: pmm.PolicyMinMax}, 1059341, 154, 22, 121, 143, "0.846153846154"},
+		{"PMM", pmm.PolicyConfig{Kind: pmm.PolicyPMM}, 587118, 154, 34, 109, 143, "0.762237762238"},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := pmm.BaselineConfig()
+			cfg.Seed = 42
+			cfg.Duration = 1500
+			cfg.MemoryPages = 800
+			cfg.PaceFactor = 1
+			cfg.Classes[0].ArrivalRate = 0.05
+			cfg.Classes = append(cfg.Classes, pmm.ClassSpec{
+				Name:        "Sort",
+				Kind:        pmm.ExternalSort,
+				RelGroups:   []int{0},
+				ArrivalRate: 0.05,
+				SlackRange:  [2]float64{2.5, 7.5},
+			})
+			cfg.Policy = g.pol
+			sys, err := pmm.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := sys.Run()
+			if got := sys.Kernel().Steps(); got != g.steps {
+				t.Errorf("kernel steps = %d, want %d", got, g.steps)
+			}
+			if r.Arrived != g.arrived {
+				t.Errorf("arrived = %d, want %d", r.Arrived, g.arrived)
+			}
+			if r.Completed != g.completed {
+				t.Errorf("completed = %d, want %d", r.Completed, g.completed)
+			}
+			if r.Missed != g.missed {
+				t.Errorf("missed = %d, want %d", r.Missed, g.missed)
+			}
+			if got := len(r.Events); got != g.events {
+				t.Errorf("termination events = %d, want %d", got, g.events)
+			}
+			if got := fmt.Sprintf("%.12f", r.MissRatio); got != g.missRatio {
+				t.Errorf("miss ratio = %s, want %s", got, g.missRatio)
+			}
+		})
+	}
+}
+
 // TestGoldenPhaseShiftDigests pins the same digest contract for a
 // phase-shifting (dynamic arrival-rate) workload: three cycling phases
 // that ramp the class rate down, up, and off. The source processes drive

@@ -7,10 +7,7 @@
 // unreserved portion and shrinks as reservations grow.
 package buffer
 
-import (
-	"container/list"
-	"fmt"
-)
+import "fmt"
 
 // PageKey identifies a cached page: a file (relation or temp) and a page
 // number within it.
@@ -19,14 +16,33 @@ type PageKey struct {
 	Page int32
 }
 
+// lruNode is one cached page of the LRU list. Nodes live in a pooled
+// slice and link by index; a vacated node is recycled through a free
+// list threaded through next. Caching a page is on the simulator's
+// per-I/O hot path, and with pooled nodes it allocates nothing in
+// steady state (the boxed container/list this replaces allocated one
+// element per insert — the single largest allocation source in whole
+// simulation runs).
+type lruNode struct {
+	key        PageKey
+	next, prev int32
+}
+
+// nilNode terminates LRU links and the free list.
+const nilNode = int32(-1)
+
 // Pool is the buffer pool.
 type Pool struct {
 	total    int
 	reserved map[int64]int // reservation per owner id
 	sumRes   int
 
-	lru     *list.List // front = most recent; values are PageKey
-	lruPos  map[PageKey]*list.Element
+	nodes   []lruNode         // pooled LRU nodes
+	head    int32             // most recently used (nilNode when empty)
+	tail    int32             // least recently used (nilNode when empty)
+	free    int32             // vacant-node list through next
+	count   int               // cached pages
+	lruPos  map[PageKey]int32 // key → node index
 	hits    uint64
 	misses  uint64
 	evicted uint64
@@ -40,8 +56,10 @@ func NewPool(total int) *Pool {
 	return &Pool{
 		total:    total,
 		reserved: make(map[int64]int),
-		lru:      list.New(),
-		lruPos:   make(map[PageKey]*list.Element),
+		head:     nilNode,
+		tail:     nilNode,
+		free:     nilNode,
+		lruPos:   make(map[PageKey]int32),
 	}
 }
 
@@ -82,22 +100,63 @@ func (p *Pool) SetReservation(owner int64, n int) {
 // Release drops owner's reservation entirely.
 func (p *Pool) Release(owner int64) { p.SetReservation(owner, 0) }
 
+// unlink detaches node id from the LRU list; the node itself stays
+// allocated (callers relink it or recycle it onto the free list).
+func (p *Pool) unlink(id int32) {
+	n := &p.nodes[id]
+	if n.prev >= 0 {
+		p.nodes[n.prev].next = n.next
+	} else {
+		p.head = n.next
+	}
+	if n.next >= 0 {
+		p.nodes[n.next].prev = n.prev
+	} else {
+		p.tail = n.prev
+	}
+}
+
+// linkFront makes node id the most recently used.
+func (p *Pool) linkFront(id int32) {
+	n := &p.nodes[id]
+	n.prev = nilNode
+	n.next = p.head
+	if p.head >= 0 {
+		p.nodes[p.head].prev = id
+	} else {
+		p.tail = id
+	}
+	p.head = id
+}
+
+// evictBack drops the least-recently-used page and recycles its node.
+func (p *Pool) evictBack() {
+	id := p.tail
+	n := &p.nodes[id]
+	delete(p.lruPos, n.key)
+	p.unlink(id)
+	n.next = p.free
+	p.free = id
+	p.count--
+	p.evicted++
+}
+
 // shrinkLRU evicts least-recently-used pages until the cache fits the
 // unreserved pool.
 func (p *Pool) shrinkLRU() {
-	for p.lru.Len() > p.Free() {
-		back := p.lru.Back()
-		delete(p.lruPos, back.Value.(PageKey))
-		p.lru.Remove(back)
-		p.evicted++
+	for p.count > p.Free() {
+		p.evictBack()
 	}
 }
 
 // Lookup reports whether the page is cached in the unreserved pool and,
 // if so, promotes it to most recently used.
 func (p *Pool) Lookup(key PageKey) bool {
-	if el, ok := p.lruPos[key]; ok {
-		p.lru.MoveToFront(el)
+	if id, ok := p.lruPos[key]; ok {
+		if p.head != id {
+			p.unlink(id)
+			p.linkFront(id)
+		}
 		p.hits++
 		return true
 	}
@@ -112,29 +171,42 @@ func (p *Pool) Insert(key PageKey) {
 	if p.Free() == 0 {
 		return
 	}
-	if el, ok := p.lruPos[key]; ok {
-		p.lru.MoveToFront(el)
+	if id, ok := p.lruPos[key]; ok {
+		if p.head != id {
+			p.unlink(id)
+			p.linkFront(id)
+		}
 		return
 	}
-	if p.lru.Len() >= p.Free() {
-		back := p.lru.Back()
-		delete(p.lruPos, back.Value.(PageKey))
-		p.lru.Remove(back)
-		p.evicted++
+	if p.count >= p.Free() {
+		p.evictBack()
 	}
-	p.lruPos[key] = p.lru.PushFront(key)
+	id := p.free
+	if id >= 0 {
+		p.free = p.nodes[id].next
+	} else {
+		p.nodes = append(p.nodes, lruNode{})
+		id = int32(len(p.nodes) - 1)
+	}
+	p.nodes[id].key = key
+	p.lruPos[key] = id
+	p.linkFront(id)
+	p.count++
 }
 
 // Invalidate drops all cached pages of the given file, e.g. when a temp
 // file is deleted and its identity may be recycled.
 func (p *Pool) Invalidate(file int64) {
-	for el := p.lru.Front(); el != nil; {
-		next := el.Next()
-		if el.Value.(PageKey).File == file {
-			delete(p.lruPos, el.Value.(PageKey))
-			p.lru.Remove(el)
+	for id := p.head; id >= 0; {
+		next := p.nodes[id].next
+		if p.nodes[id].key.File == file {
+			delete(p.lruPos, p.nodes[id].key)
+			p.unlink(id)
+			p.nodes[id].next = p.free
+			p.free = id
+			p.count--
 		}
-		el = next
+		id = next
 	}
 }
 
@@ -144,4 +216,4 @@ func (p *Pool) Stats() (hits, misses, evicted uint64) {
 }
 
 // Cached returns the number of pages currently in the LRU cache.
-func (p *Pool) Cached() int { return p.lru.Len() }
+func (p *Pool) Cached() int { return p.count }

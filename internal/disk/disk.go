@@ -110,13 +110,13 @@ type Disk struct {
 	served    uint64 // completed requests
 	seqHits   uint64 // requests served from a tracked stream
 
-	// Allocation-free service plumbing: requests are pooled and the
-	// completion callbacks are bound once, with the in-service entry
-	// carried in cur rather than captured in per-dispatch closures.
-	reqFree          []*Request
-	cur              *sim.Waiting
-	completeQueuedFn func()
-	completeDirectFn func()
+	// Allocation-free service plumbing: requests are pooled, completions
+	// are typed kernel events addressing the disk by its registered
+	// completer id, and the in-service entry is carried in cur rather
+	// than captured in per-dispatch closures.
+	reqFree []*Request
+	cur     *sim.Waiting
+	compID  int32
 
 	// The 256 KB prefetch cache tracks a small number of concurrent
 	// sequential streams (most recently used first). More interleaved
@@ -170,8 +170,7 @@ func NewManager(k *sim.Kernel, params Params, relCylinders int, seed int64) (*Ma
 			tempInner: newRegionAlloc(0, lo),
 			tempOuter: newRegionAlloc(hi, params.NumCylinders),
 		}
-		d.completeQueuedFn = d.completeQueued
-		d.completeDirectFn = d.completeDirect
+		d.compID = k.RegisterCompleter(d)
 		m.disks = append(m.disks, d)
 	}
 	return m, nil
@@ -300,7 +299,7 @@ func (d *Disk) start(t sim.Task, prio float64, req *Request) bool {
 		d.busy = true
 		d.meter.SetBusy(true)
 		service := d.serviceTime(req)
-		d.k.At(service, d.completeDirectFn)
+		d.k.AtComplete(service, d.compID, true)
 		return t.StartHold(service)
 	}
 	// Queued: the scratch record backs the queue entry until dispatch
@@ -334,6 +333,15 @@ func (d *Disk) streamHit(req *Request) bool {
 	copy(d.streams[1:], d.streams[:len(d.streams)-1])
 	d.streams[0] = stream{file: req.file, next: req.page + req.pages}
 	return false
+}
+
+// Complete delivers a typed completion event; see sim.Completer.
+func (d *Disk) Complete(direct bool) {
+	if direct {
+		d.completeDirect()
+	} else {
+		d.completeQueued()
+	}
 }
 
 // completeDirect finishes a directly served request; the caller's own
@@ -408,7 +416,7 @@ func (d *Disk) dispatch() {
 	d.meter.SetBusy(true)
 	service := d.serviceTime(req)
 	d.cur = best
-	d.k.At(service, d.completeQueuedFn)
+	d.k.AtComplete(service, d.compID, false)
 }
 
 // pickNext implements ED with elevator tie-breaking over the queued

@@ -56,6 +56,6 @@ func (d *Disk) serveDirect(p *sim.Proc, req *Request) bool {
 	d.meter.SetBusy(true)
 	service := d.serviceTime(req)
 	d.putReq(req)
-	d.k.At(service, d.completeDirectFn)
+	d.k.AtComplete(service, d.compID, true)
 	return p.Hold(service)
 }

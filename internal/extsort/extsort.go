@@ -48,9 +48,12 @@ func New(tuplesPerPage, blockSize int) *Sort {
 	return &Sort{tpp: tuplesPerPage, blockSize: blockSize}
 }
 
-// Start builds the per-execution state and returns the root frame.
+// Start builds the per-execution state and returns the root frame. The
+// state comes from the kernel's frame arena when it has one, so sweep
+// replicates after the first run sort setup allocation-free.
 func (op *Sort) Start(e *query.Exec) sim.Frame {
-	s := &sstate{e: e, op: op, open: make(map[*mergeFile]bool)}
+	s := sim.AllocFrom[sstate](e.K.Arena())
+	s.e, s.op, s.open = e, op, make(map[*mergeFile]bool)
 	s.fRun.s = s
 	s.fFormation.s = s
 	s.fEmit.s = s
@@ -274,10 +277,8 @@ func (f *formationFrame) Step(m *sim.Machine, ok bool) sim.Status {
 			tuples := float64(f.n * s.op.tpp)
 			compares := cpu.CostCompare * math.Ceil(math.Log2(float64(maxInt(s.h*s.op.tpp, 2))))
 			f.PC = 10
-			if entered, ok2 := e.StartCPU(tuples * (cpu.CostSortCopy + compares)); entered {
+			if e.CPUBurst(tuples*(cpu.CostSortCopy+compares), &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 10: // selection charged
 			if !ok {
@@ -429,10 +430,8 @@ func (f *mergeFrame) Step(m *sim.Machine, ok bool) sim.Status {
 			}
 			f.next++
 			f.PC = 4
-			if entered, ok2 := e.StartCPU(f.perPage); entered {
+			if e.CPUBurst(f.perPage, &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 4: // page merged
 			if !ok {
@@ -533,10 +532,8 @@ func (f *sortFrame) Step(m *sim.Machine, ok bool) sim.Status {
 		switch f.PC {
 		case 0: // entry
 			f.PC = 1
-			if entered, ok2 := e.StartCPU(cpu.CostInitQuery); entered {
+			if e.CPUBurst(cpu.CostInitQuery, &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 1: // init charged
 			if !ok {
@@ -553,10 +550,8 @@ func (f *sortFrame) Step(m *sim.Machine, ok bool) sim.Status {
 			if s.inMemory {
 				// Single in-memory run: produce output directly.
 				f.PC = 3
-				if entered, ok2 := e.StartCPU(float64(e.Q.R.Tuples) * cpu.CostSortCopy); entered {
+				if e.CPUBurst(float64(e.Q.R.Tuples)*cpu.CostSortCopy, &ok) {
 					return sim.Park
-				} else {
-					ok = ok2
 				}
 				continue
 			}
@@ -568,10 +563,8 @@ func (f *sortFrame) Step(m *sim.Machine, ok bool) sim.Status {
 				return m.Return(false)
 			}
 			f.PC = 4
-			if entered, ok2 := e.StartCPU(cpu.CostTermQuery); entered {
+			if e.CPUBurst(cpu.CostTermQuery, &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 4: // termination charged
 			s.closeAll()
@@ -582,10 +575,8 @@ func (f *sortFrame) Step(m *sim.Machine, ok bool) sim.Status {
 				return m.Return(false)
 			}
 			f.PC = 4
-			if entered, ok2 := e.StartCPU(cpu.CostTermQuery); entered {
+			if e.CPUBurst(cpu.CostTermQuery, &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		}
 	}

@@ -69,9 +69,12 @@ func New(f float64, tuplesPerPage, blockSize int) *PPHJ {
 	return &PPHJ{f: f, tpp: tuplesPerPage, blockSize: blockSize}
 }
 
-// Start builds the per-execution state and returns the root frame.
+// Start builds the per-execution state and returns the root frame. The
+// state comes from the kernel's frame arena when it has one, so sweep
+// replicates after the first run join setup allocation-free.
 func (op *PPHJ) Start(e *query.Exec) sim.Frame {
-	s := &jstate{e: e, op: op, b: NumPartitions(e.Q.R.Pages, op.f)}
+	s := sim.AllocFrom[jstate](e.K.Arena())
+	s.e, s.op, s.b = e, op, NumPartitions(e.Q.R.Pages, op.f)
 	s.expanded = s.b // late contraction: start fully expanded
 	s.fRun.s = s
 	s.fBuild.s = s
@@ -351,10 +354,8 @@ func (f *buildFrame) Step(m *sim.Machine, ok bool) sim.Status {
 			tuples := float64(f.n * s.op.tpp)
 			instr := tuples * (fE*cpu.CostHashBuild + (1-fE)*cpu.CostHashCopy)
 			f.PC = 4
-			if entered, ok2 := e.StartCPU(instr); entered {
+			if e.CPUBurst(instr, &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 4: // block hashed
 			if !ok {
@@ -427,10 +428,8 @@ func (f *probeFrame) Step(m *sim.Machine, ok bool) sim.Status {
 			tuples := float64(f.n * s.op.tpp)
 			instr := tuples * (f.fE*(cpu.CostHashProbe+cpu.CostHashCopy) + (1-f.fE)*cpu.CostHashCopy)
 			f.PC = 5
-			if entered, ok2 := e.StartCPU(instr); entered {
+			if e.CPUBurst(instr, &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 5: // block probed
 			if !ok {
@@ -531,10 +530,8 @@ func (f *readBackFrame) Step(m *sim.Machine, ok bool) sim.Status {
 					return s.rSpool.CallRead(m, e, from, f.n, s.op.blockSize)
 				}
 				f.PC = 2
-				if entered, ok2 := e.StartCPU(float64(f.rPages*s.op.tpp) * cpu.CostHashBuild); entered {
+				if e.CPUBurst(float64(f.rPages*s.op.tpp)*cpu.CostHashBuild, &ok) {
 					return sim.Park
-				} else {
-					ok = ok2
 				}
 				continue
 			}
@@ -545,10 +542,8 @@ func (f *readBackFrame) Step(m *sim.Machine, ok bool) sim.Status {
 			}
 			s.rReadCur += f.n
 			f.PC = 2
-			if entered, ok2 := e.StartCPU(float64(f.rPages*s.op.tpp) * cpu.CostHashBuild); entered {
+			if e.CPUBurst(float64(f.rPages*s.op.tpp)*cpu.CostHashBuild, &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 2: // R rebuild charged
 			if !ok {
@@ -564,10 +559,8 @@ func (f *readBackFrame) Step(m *sim.Machine, ok bool) sim.Status {
 					return s.sSpool.CallRead(m, e, 0, f.n, s.op.blockSize)
 				}
 				f.PC = 5
-				if entered, ok2 := e.StartCPU(float64(f.sPages*s.op.tpp) * (cpu.CostHashProbe + cpu.CostHashCopy)); entered {
+				if e.CPUBurst(float64(f.sPages*s.op.tpp)*(cpu.CostHashProbe+cpu.CostHashCopy), &ok) {
 					return sim.Park
-				} else {
-					ok = ok2
 				}
 				continue
 			}
@@ -577,10 +570,8 @@ func (f *readBackFrame) Step(m *sim.Machine, ok bool) sim.Status {
 				return m.Return(false)
 			}
 			f.PC = 5
-			if entered, ok2 := e.StartCPU(float64(f.sPages*s.op.tpp) * (cpu.CostHashProbe + cpu.CostHashCopy)); entered {
+			if e.CPUBurst(float64(f.sPages*s.op.tpp)*(cpu.CostHashProbe+cpu.CostHashCopy), &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 5: // S re-probe charged
 			if !ok {
@@ -661,10 +652,8 @@ func (f *cleanupFrame) Step(m *sim.Machine, ok bool) sim.Status {
 			}
 			f.rOff += f.rPages
 			f.PC = 6
-			if entered, ok2 := e.StartCPU(float64(f.rPages*s.op.tpp) * cpu.CostHashBuild); entered {
+			if e.CPUBurst(float64(f.rPages*s.op.tpp)*cpu.CostHashBuild, &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 6: // R rebuild charged
 			if !ok {
@@ -685,10 +674,8 @@ func (f *cleanupFrame) Step(m *sim.Machine, ok bool) sim.Status {
 			}
 			f.sOff += f.sPages
 			f.PC = 9
-			if entered, ok2 := e.StartCPU(float64(f.sPages*s.op.tpp) * (cpu.CostHashProbe + cpu.CostHashCopy)); entered {
+			if e.CPUBurst(float64(f.sPages*s.op.tpp)*(cpu.CostHashProbe+cpu.CostHashCopy), &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 9: // S stream charged
 			if !ok {
@@ -714,10 +701,8 @@ func (f *runFrame) Step(m *sim.Machine, ok bool) sim.Status {
 		switch f.PC {
 		case 0: // entry
 			f.PC = 1
-			if entered, ok2 := s.e.StartCPU(cpu.CostInitQuery); entered {
+			if s.e.CPUBurst(cpu.CostInitQuery, &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 1: // init charged
 			if !ok {
@@ -746,10 +731,8 @@ func (f *runFrame) Step(m *sim.Machine, ok bool) sim.Status {
 				return m.Return(false)
 			}
 			f.PC = 5
-			if entered, ok2 := s.e.StartCPU(cpu.CostTermQuery); entered {
+			if s.e.CPUBurst(cpu.CostTermQuery, &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 5: // termination charged
 			s.closeTemps()

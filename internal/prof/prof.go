@@ -1,12 +1,15 @@
 // Package prof is the tiny profiling hookup shared by the command-line
-// tools: it turns a -cpuprofile flag value into a running CPU profile,
-// so kernel-level performance work can profile real simulation workloads
-// (go tool pprof) without editing code or writing throwaway harnesses.
+// tools: it turns the -cpuprofile and -memprofile flag values into
+// running profiles, so kernel-level performance work can profile real
+// simulation workloads (go tool pprof) without editing code or writing
+// throwaway harnesses. The heap profile is the one that shows arena
+// residency and allocation attribution directly.
 package prof
 
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 )
 
@@ -26,6 +29,33 @@ func StartCPU(path string) (stop func(), err error) {
 	}
 	return func() {
 		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// StartMem arms a heap profile written to path by the returned stop
+// function (heap profiles are snapshots, so unlike the CPU profile the
+// file is produced at stop time, after a final GC settles live-object
+// attribution). An empty path is a no-op; stop is idempotent.
+func StartMem(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	// Create eagerly so a bad path fails at startup, not after the run.
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("memprofile: %w", err)
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		runtime.GC()
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
 		f.Close()
 	}, nil
 }

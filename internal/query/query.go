@@ -156,6 +156,25 @@ func (e *Exec) StartCPU(instructions float64) (entered, ok bool) {
 	return e.CPU.StartRun(e.P, e.Q.Prio(), instructions)
 }
 
+// CPUBurst is the frame-helper form of StartCPU for the ubiquitous
+// charge-then-maybe-park step: it enters the burst and, when the burst
+// finishes immediately instead of parking, writes the immediate outcome
+// through ok. A burst site in a frame collapses to
+//
+//	f.PC = next
+//	if e.CPUBurst(instr, &ok) {
+//		return sim.Park
+//	}
+//
+// with the next case reading ok exactly as after a park.
+func (e *Exec) CPUBurst(instructions float64, ok *bool) bool {
+	entered, o := e.StartCPU(instructions)
+	if !entered {
+		*ok = o
+	}
+	return entered
+}
+
 // CallWaitMemory enters the admission/suspension wait as a child frame:
 // it parks until the controller grants the query memory (Alloc > 0).
 // The frame's result is false when the deadline interrupt arrives first.
@@ -248,7 +267,7 @@ func (f *paceFrame) Step(m *sim.Machine, ok bool) sim.Status {
 			// Park until topped up (the controller wakes any process with
 			// WantMem set when its grant changes) or until urgency arrives.
 			q.WantMem = q.MinMem + 1
-			f.timer = e.K.At(urgentAt-e.K.Now(), q.Proc.WakeFn())
+			f.timer = e.K.AtWake(urgentAt-e.K.Now(), q.Proc)
 			f.PC = 2
 			if e.P.StartPark() {
 				return sim.Park
@@ -315,10 +334,8 @@ func (f *readRelFrame) Step(m *sim.Machine, ok bool) sim.Status {
 				continue
 			}
 			f.PC = 2
-			if entered, ok2 := e.StartCPU(cpu.CostStartIO); entered {
+			if e.CPUBurst(cpu.CostStartIO, &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 2: // start-I/O charge done
 			if !ok {
@@ -420,10 +437,8 @@ func (f *appendFrame) Step(m *sim.Machine, ok bool) sim.Status {
 				old.Free()
 			}
 			f.PC = 2
-			if entered, ok2 := e.StartCPU(cpu.CostStartIO); entered {
+			if e.CPUBurst(cpu.CostStartIO, &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 2: // start-I/O charge done
 			if !ok {
@@ -493,10 +508,8 @@ func (f *readTempFrame) Step(m *sim.Machine, ok bool) sim.Status {
 				f.u = rem
 			}
 			f.PC = 2
-			if entered, ok2 := e.StartCPU(cpu.CostStartIO); entered {
+			if e.CPUBurst(cpu.CostStartIO, &ok) {
 				return sim.Park
-			} else {
-				ok = ok2
 			}
 		case 2: // start-I/O charge done
 			if !ok {

@@ -31,6 +31,12 @@ type System struct {
 	met   *Metrics
 	pmm   *core.PMM // nil unless PolicyPMM
 
+	// Operator prototypes, built once per system: the per-query execution
+	// state lives in the Start-built frames, so the descriptors are
+	// shareable and launch allocates no operator.
+	joinOp *join.PPHJ
+	sortOp *extsort.Sort
+
 	// Measurement window for PMM's probe.
 	winStart    float64
 	winCPUBusy0 float64
@@ -39,13 +45,23 @@ type System struct {
 }
 
 // New builds a system from cfg. The same config and seed always produce
-// the same run.
-func New(cfg Config) (*System, error) {
+// the same run. The system gets a private frame arena: even a one-shot
+// run allocates its processes and operator frames from slabs instead of
+// the heap (the arena dies with the system, so nothing is recycled —
+// sweep workers that want warm starts pass their own via NewWithArena).
+func New(cfg Config) (*System, error) { return NewWithArena(cfg, sim.NewArena()) }
+
+// NewWithArena builds a system whose kernel allocates processes and
+// operator frames from arena a — the warm-start path sweep workers use,
+// with Arena.Reset between replicates. A nil arena is a plain New. The
+// run itself is bit-for-bit identical either way: the arena changes
+// where state lives, never what events fire.
+func NewWithArena(cfg Config, a *sim.Arena) (*System, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, k: sim.NewKernel()}
+	s := &System{cfg: cfg, k: sim.NewKernelIn(a)}
 	s.cpu = cpu.New(s.k, cfg.CPUMips)
 
 	relCyl := catalog.CylindersNeeded(cfg.Groups, cfg.Disk.CylinderSize)
@@ -91,6 +107,8 @@ func New(cfg Config) (*System, error) {
 	}
 	s.ctrl = newController(s, alloc)
 	s.winDisk0 = make([]float64, s.disks.NumDisks())
+	s.joinOp = join.New(cfg.FudgeFactor, cfg.TuplesPerPage, cfg.Disk.BlockSize)
+	s.sortOp = extsort.New(cfg.TuplesPerPage, cfg.Disk.BlockSize)
 	s.startSources()
 	return s, nil
 }
@@ -196,7 +214,8 @@ func (f *sourceFrame) Step(m *sim.Machine, ok bool) sim.Status {
 // startSources spawns one Poisson source process per class.
 func (s *System) startSources() {
 	for ci := range s.cfg.Classes {
-		f := &sourceFrame{s: s, ci: ci}
+		f := sim.AllocFrom[sourceFrame](s.k.Arena())
+		f.s, f.ci = s, ci
 		f.p = s.k.SpawnInline(fmt.Sprintf("source-%s", s.cfg.Classes[ci].Name), f)
 	}
 }
@@ -244,29 +263,27 @@ func (f *queryFrame) Step(m *sim.Machine, ok bool) sim.Status {
 // launch starts a query process and arms its firm-deadline abort.
 func (s *System) launch(q *query.Query) {
 	s.met.arrived++
-	f := &queryFrame{s: s, q: q}
+	f := sim.AllocFrom[queryFrame](s.k.Arena())
+	f.s, f.q = s, q
 	f.e = query.Exec{Env: s.env, Q: q}
 	q.Proc = s.k.SpawnInline(fmt.Sprintf("q%d", q.ID), f)
 	f.e.P = q.Proc
 	// The abort event deliberately fires even for queries that finish
-	// early (it checks Finished and does nothing): cancelling it on
+	// early (interrupting a dead process is a no-op): cancelling it on
 	// completion would change the executed-event trace, and the pending
 	// entry just waits in its timing-wheel bucket until its tick drains
-	// either way.
-	s.k.At(q.Deadline-s.k.Now(), func() {
-		if !q.Finished {
-			q.Proc.Interrupt()
-		}
-	})
+	// either way. A query marks itself Finished in the same turn its
+	// process dies, so the typed event is equivalent to the old
+	// Finished-guarded closure.
+	s.k.AtInterrupt(q.Deadline-s.k.Now(), q.Proc)
 }
 
-// buildOperator instantiates the operator for a query.
+// buildOperator selects the operator prototype for a query.
 func (s *System) buildOperator(q *query.Query) query.Operator {
-	bs := s.cfg.Disk.BlockSize
 	if q.Kind == query.HashJoin {
-		return join.New(s.cfg.FudgeFactor, s.cfg.TuplesPerPage, bs)
+		return s.joinOp
 	}
-	return extsort.New(s.cfg.TuplesPerPage, bs)
+	return s.sortOp
 }
 
 // results snapshots the metrics at the current simulation time.

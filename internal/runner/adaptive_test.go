@@ -12,6 +12,7 @@ import (
 	"pmm/internal/catalog"
 	"pmm/internal/resultstore"
 	"pmm/internal/rtdbs"
+	"pmm/internal/sim"
 	"pmm/internal/stats"
 	"pmm/internal/workload"
 )
@@ -32,8 +33,8 @@ func synthBase() rtdbs.Config {
 // is mean(policy) + sd·noise(seed), where the noise stream depends only
 // on the seed — so two policies at the same replicate share it exactly,
 // mimicking common random numbers with a deterministic policy gap.
-func synthSim(mean func(rtdbs.PolicyKind) float64, sd float64, calls *atomic.Int64) func(rtdbs.Config) (*rtdbs.Results, error) {
-	return func(cfg rtdbs.Config) (*rtdbs.Results, error) {
+func synthSim(mean func(rtdbs.PolicyKind) float64, sd float64, calls *atomic.Int64) func(rtdbs.Config, *sim.Arena) (*rtdbs.Results, error) {
+	return func(cfg rtdbs.Config, _ *sim.Arena) (*rtdbs.Results, error) {
 		if calls != nil {
 			calls.Add(1)
 		}

@@ -92,9 +92,10 @@ type Spec struct {
 	// cache's state.
 	Cache *resultstore.Store
 
-	// simulate runs one configured simulation; tests inject synthetic
-	// dynamics here. nil means the real simulator.
-	simulate func(rtdbs.Config) (*rtdbs.Results, error)
+	// simulate runs one configured simulation, allocating from the
+	// worker's arena (reset between jobs; may be nil); tests inject
+	// synthetic dynamics here. nil means the real simulator.
+	simulate func(rtdbs.Config, *sim.Arena) (*rtdbs.Results, error)
 }
 
 // withDefaults fills unset knobs.
@@ -109,8 +110,8 @@ func (s Spec) withDefaults() Spec {
 		s.Confidence = 0.95
 	}
 	if s.simulate == nil {
-		s.simulate = func(cfg rtdbs.Config) (*rtdbs.Results, error) {
-			sys, err := rtdbs.New(cfg)
+		s.simulate = func(cfg rtdbs.Config, a *sim.Arena) (*rtdbs.Results, error) {
+			sys, err := rtdbs.NewWithArena(cfg, a)
 			if err != nil {
 				return nil, err
 			}
@@ -278,6 +279,11 @@ func runJobs(s Spec, results []PointResult, jobs []job) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One arena per worker: each replicate's kernel starts warm
+			// on the slabs and queue backings the previous one grew.
+			// Arenas are never shared across workers, so the sweep needs
+			// no locking around them.
+			arena := sim.NewArena()
 			for ji := range ch {
 				j := jobs[ji]
 				cfg := cloneConfig(results[j.point].Point.Config)
@@ -294,7 +300,11 @@ func runJobs(s Spec, results []PointResult, jobs []job) error {
 						continue
 					}
 				}
-				res, err := s.simulate(cfg)
+				res, err := s.simulate(cfg, arena)
+				// Results hold no arena memory (they are rebuilt values),
+				// so the arena recycles immediately — including after an
+				// error, which may have left a half-built kernel in it.
+				arena.Reset()
 				if err != nil {
 					fail(fmt.Errorf("runner: point %s rep %d: %w",
 						results[j.point].Point.Key, j.rep, err))

@@ -21,9 +21,27 @@
 // observable contract is unchanged: events fire in exact
 // (time, sequence) order.
 //
+// Events are typed, not closures.  The kernel's own events (task
+// wakes, park wakes, interrupts, completions) carry a 3-bit kind and a
+// 29-bit task/completion index packed into one int32 in the event
+// slot, and Step dispatches them through a single switch — firing an
+// event is array index + direct call, with no closure environment kept
+// alive.  Task turns go further and use no slot at all: the fast-lane
+// entry itself names the task.  Kernel.At is the closure escape hatch
+// (kind 0) for tests, workload sources and controllers.
+//
+// Memory placement is caller-controlled.  NewKernel heap-allocates;
+// NewKernelIn builds the kernel and its queue backings from an Arena —
+// bump-allocated slabs (SlabFor, AllocFrom) that a sweep worker Resets
+// between replicates, so steady-state replicates run entirely on
+// recycled memory.  Inline-process frames and operator scratch are
+// allocated from the same arena by their owners.
+//
 // Processes block with Hold (advance local time), Park (wait for an
 // external Wake), or by queueing on a Server.  Any blocked process can be
 // Interrupted — used by firm real-time deadlines to abort queries — in
 // which case the blocking call reports the interruption so the process
-// can unwind and release resources.
+// can unwind and release resources.  Each representation (goroutine
+// Proc, inline frame machine) arms the same waits through the same
+// taskCore, so the two produce bit-for-bit identical event sequences.
 package sim

@@ -94,20 +94,28 @@ func (m *Machine) Return(ok bool) Status {
 // SpawnInline starts an inline process whose body is the given root
 // frame. Like Spawn, the body begins executing at the current simulation
 // time, after already-scheduled events at this time; the process is dead
-// once the root frame returns.
+// once the root frame returns. On an arena-backed kernel, the process
+// record and its frame stack come from the arena, so replicates after
+// the first spawn allocation-free.
 func (k *Kernel) SpawnInline(name string, root Frame) *InlineProc {
-	p := &InlineProc{}
+	var p *InlineProc
+	if a := k.arena; a != nil {
+		p = SlabFor[InlineProc](a).Alloc()
+		st := SlabFor[[8]Frame](a).Alloc()
+		p.m.stack = append(st[:0], root)
+	} else {
+		p = &InlineProc{}
+		p.m.stack = append(make([]Frame, 0, 8), root)
+	}
 	p.k = k
 	p.name = name
 	p.self = p
 	p.state = procWakePending
-	p.turnFn = p.runTurn
-	p.wakeFn = func() { p.deliverWake(false) }
-	p.parkWakeFn = func() { p.Wake() }
+	p.inline = p
 	root.setPC(0)
-	p.m.stack = append(make([]Frame, 0, 8), root)
+	k.registerTask(&p.taskCore)
 	k.procs++
-	k.At(0, p.turnFn)
+	k.schedTurn(&p.taskCore)
 	return p
 }
 

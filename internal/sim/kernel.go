@@ -32,17 +32,56 @@ import (
 // ignored.
 
 // eventSlot is one pooled event record and, for an event parked in a
-// wheel bucket, the intrusive list node of that bucket. fn is the
-// scheduled callback; seq identifies the occupying event (noEvent when
-// the slot is free); loc records where the queue entry lives (a wheel
-// bucket index or a loc* sentinel) so Stop can unlink in O(1); next
-// doubles as the free-list link of vacant slots.
+// wheel bucket, the intrusive list node of that bucket. karg packs the
+// event kind (low 3 bits) with its payload (the rest) — a task or
+// completer index into the kernel registries — so typed slots hold no
+// pointers, scheduling them crosses no write barrier, and the slot
+// stays at 40 bytes, the same footprint the untyped kernel had; fn is
+// populated only for evClosure (the Kernel.At escape hatch). seq
+// identifies the occupying event (noEvent when the slot is free); loc
+// records where the queue entry lives (a wheel bucket index or a loc*
+// sentinel) so Stop can unlink in O(1); next doubles as the free-list
+// link of vacant slots.
 type eventSlot struct {
 	fn         func()
 	at         float64
 	seq        uint64
 	next, prev int32
 	loc        int32
+	karg       int32
+}
+
+// Event kinds: every event the simulator schedules is one of these, and
+// Step dispatches on the kind with a single switch instead of an
+// indirect closure call. All payloads are registry indexes (see
+// Kernel.tasks/comps), so the hot kinds capture nothing. Kinds must fit
+// the low 3 bits of eventSlot.karg.
+const (
+	// evClosure runs a user-supplied func(): the Kernel.At escape hatch.
+	evClosure uint8 = iota
+	// evTurn runs one turn of the task in arg (zero-delay resume).
+	evTurn
+	// evWake delivers a hold's timed wake to the parked task in arg.
+	evWake
+	// evParkWake calls Wake on the task in arg: a no-op unless the task
+	// still sits in a plain park (pacing urgency timers).
+	evParkWake
+	// evInterrupt calls Interrupt on the task in arg (deadline aborts).
+	evInterrupt
+	// evComplete / evCompleteQ end a resource service section: the
+	// completer in arg finishes its direct or queued service (server and
+	// disk completions).
+	evComplete
+	evCompleteQ
+)
+
+// Completer is a resource whose service completions the kernel delivers
+// as typed events: Complete ends the service armed by AtComplete, with
+// direct distinguishing an idle-resource direct serve from a dispatched
+// queued one. Servers and disks register once at construction via
+// RegisterCompleter.
+type Completer interface {
+	Complete(direct bool)
 }
 
 // noEvent marks a vacant slot. Real sequence numbers are assigned from 0
@@ -59,10 +98,15 @@ type heapItem struct {
 }
 
 // laneItem is one pending zero-delay event in the same-timestamp FIFO
-// fast lane. Its time is implicitly the kernel's current time.
+// fast lane. Its time is implicitly the kernel's current time. Turn
+// events (kind == evTurn) are slot-free: they cannot be cancelled, so
+// the lane entry itself is the whole event record and id is the task id.
+// Every other kind is slot-backed: id is a slot id, and a seq mismatch
+// against the slot marks the entry cancelled.
 type laneItem struct {
-	seq uint64
-	id  int32
+	seq  uint64
+	id   int32
+	kind uint8
 }
 
 // Timer is a handle to a scheduled event that can be cancelled. The zero
@@ -84,21 +128,28 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	t.k = nil
-	s := &k.slots[t.id]
-	if s.seq != t.seq {
+	return k.stopEvent(t.id, t.seq)
+}
+
+// stopEvent cancels the pending event identified by (id, seq),
+// reporting whether it had not yet fired. It backs both Timer.Stop and
+// the pointer-free hold-wake handle in taskCore.
+func (k *Kernel) stopEvent(id int32, seq uint64) bool {
+	s := &k.slots[id]
+	if s.seq != seq {
 		return false // already fired or cancelled
 	}
 	// Front registers are searched by sequence (unique per event), so
 	// register entries need no location bookkeeping at all.
-	if n := k.regN; n > 0 && k.reg[0].seq == t.seq {
+	if n := k.regN; n > 0 && k.reg[0].seq == seq {
 		k.reg[0] = k.reg[1]
 		k.regN = n - 1
-	} else if n == 2 && k.reg[1].seq == t.seq {
+	} else if n == 2 && k.reg[1].seq == seq {
 		k.regN = 1
 	} else {
-		k.cancel(t.id, s)
+		k.cancel(id, s)
 	}
-	k.freeSlot(t.id, s)
+	k.freeSlot(id, s)
 	return true
 }
 
@@ -137,8 +188,18 @@ type Kernel struct {
 	bhead [wheelBuckets]int32 // per-bucket list heads (slot ids, -1 empty)
 	far   []heapItem          // 4-ary min-heap of events beyond the horizon
 
-	farDead int // cancelled entries still inside far
-	procs   int // live processes, for leak detection in tests
+	// Typed-event registries: tasks and completers are appended once (at
+	// spawn / construction) and addressed by index from event slots, so
+	// typed events store no pointers. Task ids are never recycled — late
+	// events (deadline aborts) may outlive their process, and an id reuse
+	// would mis-target them — but a kernel only ever registers as many
+	// tasks as it spawns processes, so growth is bounded and tiny.
+	tasks []*taskCore
+	comps []Completer
+
+	arena   *Arena // frame arena the kernel allocates processes from (may be nil)
+	farDead int    // cancelled entries still inside far
+	procs   int    // live processes, for leak detection in tests
 }
 
 // NewKernel returns a kernel with the clock at time zero.
@@ -148,6 +209,53 @@ func NewKernel() *Kernel {
 		k.bhead[i] = -1
 	}
 	return k
+}
+
+// NewKernelIn returns a kernel whose process and frame allocations come
+// from arena a, and which adopts the slot pool, lane, batch and registry
+// backing a retained from the previous replicate — a warm start. A nil
+// arena degrades to NewKernel. The arena owns at most one kernel at a
+// time: constructing a second before Arena.Reset panics.
+func NewKernelIn(a *Arena) *Kernel {
+	if a == nil {
+		return NewKernel()
+	}
+	if a.kernel != nil {
+		panic("sim: arena already owns a live kernel; Reset it first")
+	}
+	k := SlabFor[Kernel](a).Alloc()
+	k.freeHead = -1
+	for i := range k.bhead {
+		k.bhead[i] = -1
+	}
+	k.arena = a
+	k.slots = a.slotBuf[:0]
+	k.lane = a.laneBuf[:0]
+	k.cur = a.curBuf[:0]
+	k.far = a.farBuf[:0]
+	k.tasks = a.taskBuf[:0]
+	k.comps = a.compBuf[:0]
+	a.kernel = k
+	return k
+}
+
+// Arena returns the frame arena this kernel allocates from, or nil for
+// a plain heap-allocating kernel.
+func (k *Kernel) Arena() *Arena { return k.arena }
+
+// registerTask assigns a task its kernel-local id, the payload typed
+// events carry instead of a pointer.
+func (k *Kernel) registerTask(c *taskCore) {
+	c.tid = int32(len(k.tasks))
+	k.tasks = append(k.tasks, c)
+}
+
+// RegisterCompleter registers a resource for typed completion events and
+// returns the id AtComplete addresses it by. Call once at construction.
+func (k *Kernel) RegisterCompleter(c Completer) int32 {
+	id := int32(len(k.comps))
+	k.comps = append(k.comps, c)
+	return id
 }
 
 // Now returns the current simulation time in seconds.
@@ -162,25 +270,20 @@ func (k *Kernel) LiveProcs() int { return k.procs }
 // freeSlot vacates a slot and recycles it onto the intrusive free list.
 // loc is left stale: every reader is guarded by a seq check, and the
 // only path that occupies a slot without filing a location (the lane,
-// in At) resets it explicitly.
+// in sched) resets it explicitly. fn is cleared only when set — typed
+// events never store one, so their free crosses no write barrier.
 func (k *Kernel) freeSlot(id int32, s *eventSlot) {
-	s.fn = nil
+	if s.fn != nil {
+		s.fn = nil
+	}
 	s.seq = noEvent
 	s.next = k.freeHead
 	k.freeHead = id
 }
 
-// At schedules fn to run after delay simulated seconds and returns a
-// cancellable Timer. A negative delay panics: the past is immutable.
-// Events with equal times fire in scheduling order, which keeps runs
-// deterministic.
-func (k *Kernel) At(delay float64, fn func()) Timer {
-	if delay < 0 {
-		panic(fmt.Sprintf("sim: negative delay %g", delay))
-	}
-	if fn == nil {
-		panic("sim: nil event function")
-	}
+// newSlot takes a slot from the pool and stamps it with a fresh
+// sequence number, the event kind, and its payload.
+func (k *Kernel) newSlot(kind uint8, arg int32) (int32, *eventSlot, uint64) {
 	id := k.freeHead
 	if id >= 0 {
 		k.freeHead = k.slots[id].next
@@ -191,8 +294,20 @@ func (k *Kernel) At(delay float64, fn func()) Timer {
 	seq := k.seq
 	k.seq++
 	s := &k.slots[id]
-	s.fn = fn
 	s.seq = seq
+	s.karg = arg<<3 | int32(kind)
+	return id, s, seq
+}
+
+// sched files a freshly stamped slot into the queue after delay (≥ 0)
+// simulated seconds. Events with equal times fire in scheduling order,
+// which keeps runs deterministic.
+//
+// The timed-insert logic below is mirrored verbatim in At and schedWake:
+// those two entry points sit on paths hot enough that the extra call
+// into sched is measurable, and the Go inliner cannot absorb a body
+// this size. Keep all three in sync.
+func (k *Kernel) sched(delay float64, id int32, s *eventSlot, seq uint64) {
 	if delay == 0 {
 		// Same-timestamp fast lane. Lane entries always fire before the
 		// clock can advance (nothing can be scheduled earlier than now),
@@ -200,45 +315,185 @@ func (k *Kernel) At(delay float64, fn func()) Timer {
 		// be reset here: the recycled slot may carry a stale bucket
 		// index, and a lane timer's Stop must not unlink anything.
 		s.loc = locNone
-		k.lane = append(k.lane, laneItem{seq: seq, id: id})
-	} else {
-		it := heapItem{at: k.now + delay, seq: seq, id: id}
-		if n := k.regN; n > 0 && heapLess(it, k.reg[n-1]) {
-			// The event beats a front register: shift it in, displacing
-			// the current maximum register to the wheel when both are
-			// occupied. Registers stay ≤ everything behind them.
-			if n == 1 {
-				k.reg[1] = k.reg[0]
-				k.reg[0] = it
-				k.regN = 2
-			} else {
-				r := k.reg[1]
-				k.wheelSched(r.at, r.seq, r.id, &k.slots[r.id])
-				if heapLess(it, k.reg[0]) {
-					k.reg[1] = k.reg[0]
-					k.reg[0] = it
-				} else {
-					k.reg[1] = it
-				}
-			}
-		} else if n < 2 && k.timedEmpty() {
+		k.lane = append(k.lane, laneItem{seq: seq, id: id, kind: uint8(s.karg & 7)})
+		return
+	}
+	it := heapItem{at: k.now + delay, seq: seq, id: id}
+	n := k.regN
+	if n < 2 {
+		if n > 0 && heapLess(it, k.reg[0]) {
+			// The event beats the single front register: shift it in.
+			k.reg[1] = k.reg[0]
+			k.reg[0] = it
+			k.regN = 2
+			return
+		}
+		if k.timedEmpty() {
 			// Nothing is pending behind the registers, so the new event
 			// joins them as the current maximum.
 			k.reg[n] = it
 			k.regN = n + 1
-		} else {
-			k.wheelSched(it.at, seq, id, s)
+			return
 		}
+	} else if heapLess(it, k.reg[1]) {
+		// The event beats a full register bank: place it among the
+		// registers and displace the current maximum to the wheel.
+		// Registers stay ≤ everything behind them.
+		r := k.reg[1]
+		if heapLess(it, k.reg[0]) {
+			k.reg[1] = k.reg[0]
+			k.reg[0] = it
+		} else {
+			k.reg[1] = it
+		}
+		it = r
 	}
+	k.wheelSched(it.at, it.seq, it.id, &k.slots[it.id])
+}
+
+// At schedules fn to run after delay simulated seconds and returns a
+// cancellable Timer. A negative delay panics: the past is immutable.
+// At is the closure escape hatch for ad-hoc events; everything the
+// simulator schedules on its hot paths uses the typed kinds instead.
+// The queue insert mirrors sched (see the comment there).
+func (k *Kernel) At(delay float64, fn func()) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	id, s, seq := k.newSlot(evClosure, 0)
+	s.fn = fn
+	if delay == 0 {
+		s.loc = locNone
+		k.lane = append(k.lane, laneItem{seq: seq, id: id, kind: evClosure})
+		return Timer{k: k, id: id, seq: seq}
+	}
+	it := heapItem{at: k.now + delay, seq: seq, id: id}
+	n := k.regN
+	if n < 2 {
+		if n > 0 && heapLess(it, k.reg[0]) {
+			k.reg[1] = k.reg[0]
+			k.reg[0] = it
+			k.regN = 2
+			return Timer{k: k, id: id, seq: seq}
+		}
+		if k.timedEmpty() {
+			k.reg[n] = it
+			k.regN = n + 1
+			return Timer{k: k, id: id, seq: seq}
+		}
+	} else if heapLess(it, k.reg[1]) {
+		r := k.reg[1]
+		if heapLess(it, k.reg[0]) {
+			k.reg[1] = k.reg[0]
+			k.reg[0] = it
+		} else {
+			k.reg[1] = it
+		}
+		it = r
+	}
+	k.wheelSched(it.at, it.seq, it.id, &k.slots[it.id])
 	return Timer{k: k, id: id, seq: seq}
 }
 
+// schedTurn schedules a zero-delay turn for a task. Turns cannot be
+// cancelled, so they are slot-free: the lane entry itself is the whole
+// event record, and scheduling one touches no slot at all. The body is
+// small enough to inline into deliverWake and the spawn paths.
+func (k *Kernel) schedTurn(c *taskCore) {
+	seq := k.seq
+	k.seq++
+	k.lane = append(k.lane, laneItem{seq: seq, id: c.tid, kind: evTurn})
+}
+
+// schedWake arms the timed wake of a hold: deliverWake(false) on the
+// task after delay. It returns the (slot, seq) pair identifying the
+// event — the hold's cancel handle, pointer-free so storing it in the
+// task core crosses no write barrier. The queue insert mirrors sched
+// (see the comment there).
+func (k *Kernel) schedWake(delay float64, c *taskCore) (int32, uint64) {
+	id, s, seq := k.newSlot(evWake, c.tid)
+	if delay == 0 {
+		s.loc = locNone
+		k.lane = append(k.lane, laneItem{seq: seq, id: id, kind: evWake})
+		return id, seq
+	}
+	it := heapItem{at: k.now + delay, seq: seq, id: id}
+	n := k.regN
+	if n < 2 {
+		if n > 0 && heapLess(it, k.reg[0]) {
+			k.reg[1] = k.reg[0]
+			k.reg[0] = it
+			k.regN = 2
+			return id, seq
+		}
+		if k.timedEmpty() {
+			k.reg[n] = it
+			k.regN = n + 1
+			return id, seq
+		}
+	} else if heapLess(it, k.reg[1]) {
+		r := k.reg[1]
+		if heapLess(it, k.reg[0]) {
+			k.reg[1] = k.reg[0]
+			k.reg[0] = it
+		} else {
+			k.reg[1] = it
+		}
+		it = r
+	}
+	k.wheelSched(it.at, it.seq, it.id, &k.slots[it.id])
+	return id, seq
+}
+
+// AtWake schedules t.Wake() after delay simulated seconds: a timed
+// nudge that resumes the task only if it still sits in a plain park
+// (pacing urgency timers). A negative delay panics.
+func (k *Kernel) AtWake(delay float64, t Task) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	id, s, seq := k.newSlot(evParkWake, t.core().tid)
+	k.sched(delay, id, s, seq)
+	return Timer{k: k, id: id, seq: seq}
+}
+
+// AtInterrupt schedules t.Interrupt() after delay simulated seconds
+// (firm-deadline aborts). Interrupting a finished process is a no-op,
+// so the timer may safely outlive its target. A negative delay panics.
+func (k *Kernel) AtInterrupt(delay float64, t Task) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	id, s, seq := k.newSlot(evInterrupt, t.core().tid)
+	k.sched(delay, id, s, seq)
+	return Timer{k: k, id: id, seq: seq}
+}
+
+// AtComplete schedules a service completion: after delay, the completer
+// registered under comp finishes its direct or queued service. Service
+// sections are uncancellable, so no Timer is built.
+func (k *Kernel) AtComplete(delay float64, comp int32, direct bool) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	kind := evCompleteQ
+	if direct {
+		kind = evComplete
+	}
+	id, s, seq := k.newSlot(kind, comp)
+	k.sched(delay, id, s, seq)
+}
+
 // skipStaleLane advances past cancelled entries at the lane head,
-// reporting whether a live lane event is pending.
+// reporting whether a live lane event is pending. Turn entries are
+// slot-free and uncancellable, so they are always live.
 func (k *Kernel) skipStaleLane() bool {
 	for k.lhead < len(k.lane) {
 		l := k.lane[k.lhead]
-		if k.slots[l.id].seq == l.seq {
+		if l.kind == evTurn || k.slots[l.id].seq == l.seq {
 			return true
 		}
 		k.lhead++
@@ -270,13 +525,17 @@ func (k *Kernel) resetLane() {
 
 // Step executes the next pending event — the live event earliest in
 // (time, seq) order — advancing the clock. It reports whether an event
-// was executed.
+// was executed. Selection and dispatch live in one function on purpose:
+// every selection path converges on the single typed-dispatch tail at
+// the fire label, and splitting either out costs a call on the hottest
+// loop in the simulator.
 func (k *Kernel) Step() bool {
 	hasLane := k.skipStaleLane()
 	var laneSeq uint64
 	if hasLane {
 		laneSeq = k.lane[k.lhead].seq
 	}
+	var id int32
 	// Timed head: the front registers hold the earliest timed events;
 	// behind them the batch is skipped of tombstones and reloaded from
 	// the wheel as it drains. Lane entries fire at the current time, so
@@ -295,12 +554,8 @@ func (k *Kernel) Step() bool {
 			k.reg[0] = k.reg[1]
 			k.regN--
 			k.now = it.at
-			s := &k.slots[it.id]
-			fn := s.fn
-			k.freeSlot(it.id, s)
-			k.steps++
-			fn()
-			return true
+			id = it.id
+			goto fire
 		}
 		if k.chead < len(k.cur) {
 			it := k.cur[k.chead]
@@ -316,12 +571,8 @@ func (k *Kernel) Step() bool {
 			}
 			k.chead++
 			k.now = it.at
-			s := &k.slots[it.id]
-			fn := s.fn
-			k.freeSlot(it.id, s)
-			k.steps++
-			fn()
-			return true
+			id = it.id
+			goto fire
 		}
 		// Batch exhausted. With no outer-level or far-future events
 		// pending, the earliest occupied level-0 bucket is the global
@@ -338,8 +589,8 @@ func (k *Kernel) Step() bool {
 			c := int(k.curTick & slotMask)
 			t0 := k.curTick + uint64(bits.TrailingZeros64(bits.RotateLeft64(m, -c)))
 			idx := int(t0 & slotMask)
-			id := k.bhead[idx]
-			if s := &k.slots[id]; s.next < 0 {
+			bid := k.bhead[idx]
+			if s := &k.slots[bid]; s.next < 0 {
 				if hasLane && !(s.at == k.now && s.seq < laneSeq) {
 					break
 				}
@@ -350,11 +601,8 @@ func (k *Kernel) Step() bool {
 				k.bhead[idx] = -1
 				k.masks[0] = m &^ (1 << uint(idx))
 				k.now = s.at
-				fn := s.fn
-				k.freeSlot(id, s)
-				k.steps++
-				fn()
-				return true
+				id = bid
+				goto fire
 			}
 		}
 		if !k.loadCur() {
@@ -364,16 +612,55 @@ func (k *Kernel) Step() bool {
 			return false
 		}
 	}
-	l := k.lane[k.lhead]
-	k.lhead++
-	if k.lhead == len(k.lane) {
-		k.resetLane()
+	// Lane head wins: consume it. Turn entries carry their payload in
+	// the lane item itself — no slot to read or vacate.
+	{
+		l := k.lane[k.lhead]
+		k.lhead++
+		if k.lhead == len(k.lane) {
+			k.resetLane()
+		}
+		if l.kind == evTurn {
+			k.steps++
+			c := k.tasks[l.id]
+			if p := c.inline; p != nil {
+				p.runTurn()
+			} else {
+				c.turnFn()
+			}
+			return true
+		}
+		id = l.id
 	}
-	s := &k.slots[l.id]
-	fn := s.fn
-	k.freeSlot(l.id, s)
+fire:
+	// Typed dispatch: vacate the slot, count the step, switch on the
+	// event kind. Typed payloads devirtualize to direct method calls on
+	// registry entries; only evClosure pays an indirect call.
+	s := &k.slots[id]
+	karg, fn := s.karg, s.fn
+	k.freeSlot(id, s)
 	k.steps++
-	fn()
+	switch arg := karg >> 3; uint8(karg & 7) {
+	case evTurn:
+		c := k.tasks[arg]
+		if p := c.inline; p != nil {
+			p.runTurn()
+		} else {
+			c.turnFn()
+		}
+	case evWake:
+		k.tasks[arg].deliverWake(false)
+	case evClosure:
+		fn()
+	case evParkWake:
+		k.tasks[arg].Wake()
+	case evInterrupt:
+		k.tasks[arg].Interrupt()
+	case evComplete:
+		k.comps[arg].Complete(true)
+	default: // evCompleteQ
+		k.comps[arg].Complete(false)
+	}
 	return true
 }
 

@@ -29,8 +29,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 	p.self = p
 	p.state = procWakePending
 	p.turnFn = p.runTurn
-	p.wakeFn = func() { p.deliverWake(false) }
-	p.parkWakeFn = func() { p.Wake() }
+	k.registerTask(&p.taskCore)
 	k.procs++
 	go func() {
 		defer func() {
@@ -44,7 +43,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		<-p.resume
 		body(p)
 	}()
-	k.At(0, p.turnFn)
+	k.schedTurn(&p.taskCore)
 	return p
 }
 

@@ -6,8 +6,9 @@ package sim
 // uncancellable once started; interrupts delivered mid-service surface
 // after the request completes. The simulated CPU is a Server.
 //
-// The service hot path is allocation-free: completion callbacks are
-// bound once at construction and the in-flight request is carried in
+// The service hot path is allocation-free and closure-free: completions
+// are typed kernel events (AtComplete) addressing the server by its
+// registered completer id, and the in-flight request is carried in
 // Server fields rather than per-dispatch closures. Completion timers
 // are never cancelled (service is uncancellable), so they ride the
 // kernel's fastest timed path end to end — typically the front
@@ -29,16 +30,23 @@ type Server struct {
 	cur    *Waiting  // queued entry currently in service
 	direct *taskCore // caller of an idle-server direct serve
 
-	completeQueuedFn func()
-	completeDirectFn func()
+	compID int32 // completer id AtComplete addresses this server by
 }
 
 // NewServer returns an idle server.
 func NewServer(k *Kernel, name string) *Server {
 	s := &Server{k: k, gate: NewGate(k, name), meter: NewBusyMeter(k)}
-	s.completeQueuedFn = s.completeQueued
-	s.completeDirectFn = s.completeDirect
+	s.compID = k.RegisterCompleter(s)
 	return s
+}
+
+// Complete delivers a typed completion event; see Completer.
+func (s *Server) Complete(direct bool) {
+	if direct {
+		s.completeDirect()
+	} else {
+		s.completeQueued()
+	}
 }
 
 // Meter exposes the server's busy-time accounting.
@@ -82,7 +90,7 @@ func (s *Server) StartUse(t Task, prio float64, service float64) bool {
 		}
 		c.cancel = cancelNone
 		s.direct = c
-		s.k.At(service, s.completeDirectFn)
+		s.k.AtComplete(service, s.compID, true)
 		return true
 	}
 	if c.takePendingInterrupt() {
@@ -143,5 +151,5 @@ func (s *Server) dispatch() {
 	s.busy = true
 	s.meter.SetBusy(true)
 	s.cur = best
-	s.k.At(service, s.completeQueuedFn)
+	s.k.AtComplete(service, s.compID, false)
 }

@@ -76,11 +76,8 @@ type Task interface {
 	// Wake resumes a process blocked in a plain park (Park/StartPark).
 	// Waking a process in any other state is a no-op, so callers may
 	// wake liberally. Waits owned by a Gate or Server can only be ended
-	// by the owning primitive.
+	// by the owning primitive. For a timed wake, schedule Kernel.AtWake.
 	Wake()
-	// WakeFn returns a bound-once closure calling Wake, for scheduling
-	// timed wake-ups without allocating a closure per call.
-	WakeFn() func()
 	// Interrupt aborts the process's current blocking operation. A
 	// cancellable wait (hold, plain park, gate queue) is torn down and
 	// resumes immediately with an interrupted outcome; an uncancellable
@@ -97,7 +94,7 @@ type Task interface {
 	// InlineProc by returning Park from the current frame.
 	StartHold(dt float64) bool
 	// StartPark arms a plain cancellable wait (ended by Wake, Interrupt
-	// or a scheduled WakeFn) and reports whether it was entered; false
+	// or a scheduled AtWake) and reports whether it was entered; false
 	// means a pending interrupt consumed it. The caller must park
 	// immediately on true, exactly as for StartHold.
 	StartPark() bool
@@ -108,14 +105,18 @@ type Task interface {
 }
 
 // taskCore is the scheduling state shared by both process
-// representations. The representation-specific spawn binds turnFn (the
-// zero-delay event that runs one turn), wakeFn, parkWakeFn and self.
+// representations. Spawn registers the core with the kernel, which
+// assigns tid — the index typed events carry instead of a pointer or a
+// closure; dispatch devirtualizes through the inline field (set only by
+// SpawnInline) and falls back to turnFn for goroutine Procs.
 type taskCore struct {
 	k    *Kernel
 	name string
 	self Task // the concrete representation, for Waiting.Task
 
-	state procState
+	tid    int32       // index in Kernel.tasks, the typed-event payload
+	inline *InlineProc // non-nil for the inline representation: turns call runTurn directly
+	state  procState
 	// pendingInterrupt records an Interrupt that could not resume the
 	// process immediately (it was running, mid-service, or already had a
 	// wake in flight); the next blocking point reports it.
@@ -123,18 +124,18 @@ type taskCore struct {
 	// cancel describes how to undo the wait the process is parked in;
 	// cancelNone means an uncancellable section.
 	cancel cancelKind
-	// holdTimer is the pending wake of the current hold (cancelTimer).
-	holdTimer Timer
+	// holdID/holdSeq identify the pending wake event of the current hold
+	// (cancelTimer): a pointer-free handle, so arming a hold stores no
+	// pointer and crosses no write barrier.
+	holdID  int32
+	holdSeq uint64
 	// wait is the process's gate queue entry, embedded so queueing never
 	// allocates; a process occupies at most one gate at a time, and the
 	// entry is recycled wait after wait (see Gate).
 	wait Waiting
-	// turnFn, wakeFn and parkWakeFn are the process's event callbacks,
-	// bound once at spawn so scheduling a turn or a timed wake allocates
-	// nothing.
-	turnFn     func()
-	wakeFn     func()
-	parkWakeFn func()
+	// turnFn runs one turn of a goroutine-backed Proc; inline processes
+	// bypass it (Step calls runTurn through the inline field).
+	turnFn func()
 	// wakeOutcome is consumed by the pending wake event.
 	wakeOutcome outcome
 }
@@ -168,7 +169,7 @@ func (c *taskCore) deliverWake(interrupted bool) {
 	case procParked:
 		c.state = procWakePending
 		c.wakeOutcome = outcome{interrupted: interrupted}
-		c.k.At(0, c.turnFn)
+		c.k.schedTurn(c)
 	case procWakePending:
 		if interrupted {
 			c.pendingInterrupt = true
@@ -188,7 +189,7 @@ func (c *taskCore) StartHold(dt float64) bool {
 	if c.takePendingInterrupt() {
 		return false
 	}
-	c.holdTimer = c.k.At(dt, c.wakeFn)
+	c.holdID, c.holdSeq = c.k.schedWake(dt, c)
 	c.cancel = cancelTimer
 	return true
 }
@@ -210,9 +211,6 @@ func (c *taskCore) Wake() {
 	}
 }
 
-// WakeFn returns the process's bound-once Wake closure; see Task.WakeFn.
-func (c *taskCore) WakeFn() func() { return c.parkWakeFn }
-
 // Interrupt aborts the current blocking operation; see Task.Interrupt.
 func (c *taskCore) Interrupt() {
 	switch c.state {
@@ -222,7 +220,7 @@ func (c *taskCore) Interrupt() {
 			c.pendingInterrupt = true
 		case cancelTimer:
 			c.cancel = cancelNone
-			c.holdTimer.Stop()
+			c.k.stopEvent(c.holdID, c.holdSeq)
 			c.deliverWake(true)
 		case cancelGate:
 			c.cancel = cancelNone
