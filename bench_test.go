@@ -367,3 +367,55 @@ func BenchmarkDeterminism(b *testing.B) {
 		}
 	}
 }
+
+// shardedAt returns the big-topology partitioned config: `tenants`
+// broker-coupled baseline cells advanced by `shards` workers.
+func shardedAt(tenants, shards int, seed int64) pmm.Config {
+	cfg := pmm.MultiTenantConfig(tenants)
+	cfg.Seed = seed
+	cfg.Duration = benchHorizon
+	cfg.Classes[0].ArrivalRate = 0.06
+	cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyMinMax}
+	cfg.Shards = shards
+	return cfg
+}
+
+// BenchmarkFig3_Sharded measures the partitioned-execution path on a
+// scaled-up Fig3-style topology: four baseline cells (40 disks,
+// 4×2560 pages, 4× the arrival stream) as one simulated system. The
+// shards=K variants run identical simulations — only the worker count
+// changes — so their ratio is the parallel speedup; merged-1kernel
+// simulates the same aggregate capacity as a single event loop (one
+// shared disk farm and controller), the configuration a user would
+// have run before partitioning existed. On multi-core hardware the
+// speedup at 2 shards is the tentpole's ≥1.5× target; under
+// GOMAXPROCS=1 the shards=K variants collapse to sequential execution
+// and the merged/sharded gap isolates the algorithmic win (per-cell
+// controllers replan O(T) smaller query sets).
+func BenchmarkFig3_Sharded(b *testing.B) {
+	const tenants = 4
+	b.Run("merged-1kernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := baselineAt(pmm.PolicyConfig{Kind: pmm.PolicyMinMax}, 0.06*tenants, int64(i+1))
+			cfg.Disk = pmm.DefaultDiskParams()
+			cfg.Disk.NumDisks *= tenants
+			cfg.MemoryPages = 2560 * tenants
+			cfg.CPUMips = 40 * tenants
+			r := runBench(b, cfg)
+			if i == 0 {
+				missMetric(b, "merged", r)
+			}
+		}
+	})
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := runBench(b, shardedAt(tenants, shards, int64(i+1)))
+				if i == 0 {
+					missMetric(b, "sharded", r)
+					b.ReportMetric(float64(r.Terminated), "terminated")
+				}
+			}
+		})
+	}
+}

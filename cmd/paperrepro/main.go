@@ -55,6 +55,8 @@ func main() {
 		cache   = flag.String("cache", "", "directory of a content-addressed result store; cached replicates are not re-simulated")
 		prec    = flag.Float64("precision", 0, "adaptive replication: replicate each point until its miss-ratio CI half-width is within this fraction of the mean (0 = fixed -reps)")
 		maxReps = flag.Int("max-reps", 32, "replicate cap per point under -precision")
+		tenants = flag.Int("tenants", 0, "add the multi-tenant partitioned report with this many broker-coupled baseline cells (report id: tenants)")
+		shards  = flag.Int("shards", 0, "worker threads for partitioned runs (results identical for any value)")
 	)
 	flag.Parse()
 	stopProfile, err := prof.StartCPU(*profile)
@@ -89,6 +91,7 @@ func main() {
 		Seed: *seed, Quick: *quick, Horizon: *horizon,
 		Reps: *reps, Workers: *workers,
 		Precision: *prec, MaxReps: *maxReps,
+		Tenants: *tenants, Shards: *shards,
 	}
 	if *cache != "" {
 		store, err := pmm.OpenResultStore(*cache)

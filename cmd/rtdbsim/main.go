@@ -55,6 +55,9 @@ func main() {
 		cache   = flag.String("cache", "", "directory of a content-addressed result store; replicates found there are not re-simulated")
 		prec    = flag.Float64("precision", 0, "adaptive replication: run replicates until the miss-ratio CI half-width is within this fraction of the mean (0 = fixed -reps)")
 		maxReps = flag.Int("max-reps", 32, "replicate cap per point under -precision")
+		tenants = flag.Int("tenants", 0, "replicate the preset into this many broker-coupled cells (0/1 = single-tenant)")
+		shards  = flag.Int("shards", 0, "worker threads advancing cells in parallel (multi-tenant only; results identical for any value)")
+		sync    = flag.Float64("sync", 0, "broker epoch length in simulated seconds (0 = default 1.0; multi-tenant only)")
 	)
 	flag.Parse()
 	stopProfile, err := prof.StartCPU(*profile)
@@ -129,6 +132,11 @@ func main() {
 	}
 	if *memory > 0 {
 		cfg.MemoryPages = *memory
+	}
+	if *tenants > 1 {
+		cfg.Tenants = *tenants
+		cfg.Shards = *shards
+		cfg.SyncInterval = *sync
 	}
 
 	spec := pmm.SweepSpec{Base: cfg, Reps: *reps, Workers: *workers, Confidence: *conf}

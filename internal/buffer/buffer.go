@@ -69,6 +69,20 @@ func (p *Pool) Total() int { return p.total }
 // Reserved returns the total pages currently reserved by all owners.
 func (p *Pool) Reserved() int { return p.sumRes }
 
+// SetTotal resizes the pool to n pages, evicting cached LRU pages if the
+// unreserved region shrinks below its occupancy. It panics if n is less
+// than the currently reserved total: a resizer (the multi-tenant memory
+// broker) must never take back pages an allocation policy has already
+// granted — it floors each quota at the cell's reservations and reclaims
+// only as queries release.
+func (p *Pool) SetTotal(n int) {
+	if n < p.sumRes {
+		panic(fmt.Sprintf("buffer: resize to %d below %d reserved", n, p.sumRes))
+	}
+	p.total = n
+	p.shrinkLRU()
+}
+
 // Free returns the unreserved page count (the LRU cache's capacity).
 func (p *Pool) Free() int { return p.total - p.sumRes }
 

@@ -422,13 +422,14 @@ func (d *Disk) dispatch() {
 // pickNext implements ED with elevator tie-breaking over the queued
 // waiters, iterating the gate's queue in place.
 func (d *Disk) pickNext() *sim.Waiting {
-	// Find the minimum priority.
-	minPrio := math.Inf(1)
-	for w := d.gate.First(); w != nil; w = w.Next() {
-		if w.Prio < minPrio {
-			minPrio = w.Prio
-		}
+	// The gate's cached eligibility bound finds the minimum priority
+	// without rescanning the whole queue on every release; the elevator
+	// pass below only walks the (typically short) tie set.
+	min := d.gate.MinWaiter()
+	if min == nil {
+		return nil
 	}
+	minPrio := min.Prio
 	var ahead, behind *sim.Waiting
 	var aheadDist, behindDist int
 	for w := d.gate.First(); w != nil; w = w.Next() {

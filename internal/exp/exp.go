@@ -43,6 +43,12 @@ type Options struct {
 	Precision float64
 	// MaxReps caps adaptive replicates per point (default 32).
 	MaxReps int
+	// Tenants, when > 1, adds the multi-tenant partitioned-execution
+	// report: that many broker-coupled baseline cells per run.
+	Tenants int
+	// Shards is the worker-thread count for partitioned runs. Purely an
+	// execution knob — reported results are identical for every value.
+	Shards int
 }
 
 // horizon returns the simulated duration to use.
@@ -344,6 +350,7 @@ func All(o Options) ([]*Report, error) {
 		ExternalSorts,
 		Multiclass,
 		Scalability,
+		MultiTenant,
 	}
 	for _, step := range steps {
 		reports, err := step(o)

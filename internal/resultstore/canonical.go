@@ -31,7 +31,9 @@ import (
 
 // formatVersion versions the canonical serialization itself; bump it
 // together with any change to CanonicalText's output.
-const formatVersion = "v1"
+// v2: multi-tenant partitioned runs — tenants and syncInterval joined
+// the canonical text (Shards is a pure execution knob and stays out).
+const formatVersion = "v2"
 
 // Key is the content address of one simulation result: the SHA-256 of
 // the epoch-salted canonical configuration text.
@@ -122,5 +124,10 @@ func CanonicalText(cfg rtdbs.Config) string {
 		line("fairness", vals...)
 	}
 	line("paceFactor", c.PaceFactor)
+	// Canonical() zeroes both for single-tenant configs and always
+	// zeroes Shards, which never appears here: every Shards value
+	// replays to the same result, so all of them share one key.
+	line("tenants", c.Tenants)
+	line("syncInterval", c.SyncInterval)
 	return b.String()
 }

@@ -66,6 +66,31 @@ func TestKeyIgnoresConstructionOrder(t *testing.T) {
 	if KeyFor(c) != ka {
 		t.Fatalf("unselected-policy parameters changed the key:\n%s", CanonicalText(c))
 	}
+
+	// Shards is a pure execution knob — results are identical for every
+	// value — so it must never reach the key: a sweep run at shards=4
+	// must hit a cache warmed at shards=1, for single- and multi-tenant
+	// configs alike.
+	d := testConfig()
+	d.Classes[0].ArrivalRate = 0.07
+	d.Shards = 4
+	if KeyFor(d) != ka {
+		t.Fatalf("Shards changed the key:\n%s", CanonicalText(d))
+	}
+	mt := testConfig()
+	mt.Tenants = 3
+	mt2 := mt
+	mt2.Shards = 8
+	if KeyFor(mt) != KeyFor(mt2) {
+		t.Fatalf("Shards changed a multi-tenant key:\n%s", CanonicalText(mt2))
+	}
+	// A single-tenant config ignores SyncInterval entirely.
+	st := testConfig()
+	st.Classes[0].ArrivalRate = 0.07
+	st.SyncInterval = 3
+	if KeyFor(st) != ka {
+		t.Fatalf("SyncInterval changed a single-tenant key:\n%s", CanonicalText(st))
+	}
 }
 
 // TestKeyDistinguishesBehavior asserts the converse: fields that do
@@ -88,7 +113,12 @@ func TestKeyDistinguishesBehavior(t *testing.T) {
 		"phases": func(c *rtdbs.Config) {
 			c.Phases = []rtdbs.Phase{{Duration: 100, Rates: []float64{0.05}}}
 		},
-		"pace": func(c *rtdbs.Config) { c.PaceFactor = 1 },
+		"pace":    func(c *rtdbs.Config) { c.PaceFactor = 1 },
+		"tenants": func(c *rtdbs.Config) { c.Tenants = 4 },
+		"syncInterval": func(c *rtdbs.Config) {
+			c.Tenants = 4
+			c.SyncInterval = 2.5
+		},
 	}
 	k0 := KeyFor(base)
 	for name, mutate := range mutations {
@@ -107,7 +137,7 @@ func TestKeyDistinguishesBehavior(t *testing.T) {
 // because the canonical format or the simulation epoch changed
 // intentionally, update the constant — that IS the cache invalidation.
 func TestKeyGolden(t *testing.T) {
-	const want = "6ee2bddb6e40ac3378a83e7e41fe6510a60b8d5f0a90a43c990b778d6544fee6"
+	const want = "2acb5a7e2c19235589838633c391d10097137b12fd31fc1fa0560ec3a8f37159"
 	got := KeyFor(testConfig()).String()
 	if got != want {
 		t.Fatalf("golden key drifted:\n got %s\nwant %s\ncanonical text:\n%s",
@@ -126,7 +156,7 @@ func TestCanonicalCoversAllConfigFields(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		"rtdbs.Config":        {reflect.TypeOf(rtdbs.Config{}), 12},
+		"rtdbs.Config":        {reflect.TypeOf(rtdbs.Config{}), 15},
 		"rtdbs.PolicyConfig":  {reflect.TypeOf(rtdbs.PolicyConfig{}), 4},
 		"rtdbs.Phase":         {reflect.TypeOf(rtdbs.Phase{}), 2},
 		"disk.Params":         {reflect.TypeOf(disk.Params{}), 7},

@@ -86,6 +86,31 @@ type Config struct {
 	// PaceFactor > 0 enables deadline-driven pacing of queries stuck at
 	// their minimum allocation (ablation knob; see query.Env.PaceFactor).
 	PaceFactor float64
+
+	// Tenants > 1 replicates the configured topology into that many
+	// independent cells — each with its own CPU, disk farm, buffer pool,
+	// workload sources (independent splitmix64 seed streams), and
+	// admission controller — coupled only through a global memory broker
+	// that rebalances the combined budget Tenants×MemoryPages across
+	// cells at epoch boundaries. 0 or 1 selects the classic
+	// single-tenant system. Tenants changes simulated semantics and is
+	// part of the canonical configuration.
+	Tenants int
+	// SyncInterval is the broker epoch length in seconds for multi-
+	// tenant runs: cells exchange demand reports and receive new budgets
+	// every SyncInterval of simulated time. It is also the conservative
+	// lookahead of the partitioned execution path — cells cannot
+	// interact between epochs, so shards may run one full epoch apart.
+	// Defaults to 1.0 when Tenants > 1; ignored (canonicalized to 0)
+	// otherwise.
+	SyncInterval float64
+	// Shards is the number of worker threads that advance cells
+	// concurrently in a multi-tenant run. It is purely an execution
+	// knob: results are bit-for-bit identical for every value, so it is
+	// canonicalized to 0 and excluded from result-store keys. 0 or 1
+	// runs the partitions sequentially; values above Tenants are
+	// clamped.
+	Shards int
 }
 
 // withDefaults fills unset fields with the paper's defaults.
@@ -127,6 +152,9 @@ func (c Config) withDefaults() Config {
 	if c.TuplesPerPage <= 0 {
 		c.TuplesPerPage = 40
 	}
+	if c.Tenants > 1 && c.SyncInterval <= 0 {
+		c.SyncInterval = 1.0
+	}
 	return c
 }
 
@@ -149,6 +177,15 @@ func (c Config) validate() error {
 	}
 	if c.Policy.MPLLimit < 0 {
 		return fmt.Errorf("rtdbs: negative MPL limit %d", c.Policy.MPLLimit)
+	}
+	if c.Tenants < 0 {
+		return fmt.Errorf("rtdbs: negative tenant count %d", c.Tenants)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("rtdbs: negative shard count %d", c.Shards)
+	}
+	if c.SyncInterval < 0 {
+		return fmt.Errorf("rtdbs: negative sync interval %g", c.SyncInterval)
 	}
 	return nil
 }
@@ -195,6 +232,14 @@ func (c Config) Canonical() Config {
 		pol.Fairness.Weights = w
 	}
 	c.Policy = pol
+	// Shards is a pure execution knob — every value produces the same
+	// results — so it never participates in content addressing. A
+	// single-tenant run ignores SyncInterval entirely.
+	c.Shards = 0
+	if c.Tenants <= 1 {
+		c.Tenants = 0
+		c.SyncInterval = 0
+	}
 	return c
 }
 

@@ -12,6 +12,8 @@ type TermEvent struct {
 	Time   float64
 	Class  int
 	Missed bool
+	// Shard is the cell the query ran in (0 for single-tenant runs).
+	Shard int32
 }
 
 // Metrics accumulates run statistics.
@@ -158,10 +160,19 @@ type Results struct {
 	// Events lists every termination in time order.
 	Events []TermEvent
 
-	// PMMTrace is the controller's per-batch decision trace (PMM only).
+	// PMMTrace is the controller's per-batch decision trace (PMM only;
+	// nil for multi-tenant runs, where each cell has its own PMM).
 	PMMTrace []core.TracePoint
-	// PMMRestarts counts workload-change resets (PMM only).
+	// PMMRestarts counts workload-change resets (PMM only; summed over
+	// cells for multi-tenant runs).
 	PMMRestarts int
+
+	// ShardDigest fingerprints a partitioned run's combined outcome:
+	// a SHA-256 over every cell's kernel step count and termination
+	// events, folded in cell-ID order. Equal configurations produce
+	// equal digests for every Shards value — the conformance tests pin
+	// it. Empty for single-tenant runs.
+	ShardDigest string
 }
 
 // ClassMissRatio returns the miss ratio of the named class, or -1 when

@@ -110,13 +110,10 @@ func (s Spec) withDefaults() Spec {
 		s.Confidence = 0.95
 	}
 	if s.simulate == nil {
-		s.simulate = func(cfg rtdbs.Config, a *sim.Arena) (*rtdbs.Results, error) {
-			sys, err := rtdbs.NewWithArena(cfg, a)
-			if err != nil {
-				return nil, err
-			}
-			return sys.Run(), nil
-		}
+		// Simulate dispatches on cfg.Tenants: single-tenant runs build
+		// on the worker's arena; partitioned multi-tenant runs own
+		// per-cell arenas and ignore it.
+		s.simulate = rtdbs.Simulate
 	}
 	return s
 }

@@ -285,6 +285,80 @@ func BenchmarkGateContention(b *testing.B) {
 	k.Drain()
 }
 
+// BenchmarkGateBoundScan is BenchmarkGateContention with the owner scan
+// replaced by Gate.MinWaiter — the cached-eligibility-bound pick the CPU
+// and disk dispatchers actually use. The gap to BenchmarkGateContention
+// is the saving from the bound short-circuiting the full queue walk.
+func BenchmarkGateBoundScan(b *testing.B) {
+	const nWaiters = 8
+	k := NewKernel()
+	g := NewGate(k, "bench")
+	for i := 0; i < nWaiters; i++ {
+		prio := float64(i % 4)
+		k.Spawn("waiter", func(p *Proc) {
+			for g.Wait(p, prio, nil) {
+			}
+		})
+	}
+	for i := 0; i < nWaiters; i++ {
+		k.Step() // spawn turns: everyone queues
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		best := g.MinWaiter()
+		g.Release(best)
+		k.Step() // released proc re-queues
+	}
+	b.StopTimer()
+	for _, p := range procsOf(g) {
+		p.Interrupt()
+	}
+	k.Drain()
+}
+
+// BenchmarkTickScale measures the schedule/fire cycle across event-delay
+// scales relative to the wheel tick (1/tickScale = 62.5 ms of simulated
+// time). Delays of one tick or more spread across wheel buckets; delays
+// far below a tick (the millisecond- and microsecond-scale rows) all
+// quantize to the *same* tick, so they ride the same-time drain batch
+// instead of the wheel proper. The interesting question for
+// microsecond-scale workloads is whether that collapse costs anything:
+// the recorded result (BENCH_kernel.json, PR7 epoch) is that sub-tick
+// delays are as cheap as multi-tick ones — same-tick events drain
+// through the seq-ordered batch at the same ns/op and 0 allocs/op, so
+// the 1/16 s tick needs no retuning for µs-scale workloads.
+func BenchmarkTickScale(b *testing.B) {
+	scales := []struct {
+		name  string
+		delay float64
+	}{
+		{"delay=1s", 1},                 // 16 ticks: wheel level > 0
+		{"delay=62.5ms", 1 / tickScale}, // exactly 1 tick: finest wheel level
+		{"delay=1ms", 1e-3},             // 1/62 tick: same-tick drain batch
+		{"delay=1us", 1e-6},             // 1/62500 tick: same-tick drain batch
+	}
+	for _, s := range scales {
+		b.Run(s.name, func(b *testing.B) {
+			k := NewKernel()
+			fn := func() {}
+			// Warm the pool and the drain batch backing.
+			for i := 0; i < 64; i++ {
+				k.At(s.delay, fn)
+			}
+			k.Drain()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.At(s.delay, fn)
+				k.Step()
+			}
+			b.StopTimer()
+			k.Drain()
+		})
+	}
+}
+
 // pickBest scans the gate the way Server.dispatch does: minimum Prio,
 // FIFO among equals (arrival-order iteration makes strict < exact).
 func pickBest(g *Gate) *Waiting {

@@ -44,4 +44,30 @@
 // can unwind and release resources.  Each representation (goroutine
 // Proc, inline frame machine) arms the same waits through the same
 // taskCore, so the two produce bit-for-bit identical event sequences.
+//
+// # Partitioned execution
+//
+// A simulation too large for one kernel can be sharded across several
+// (partition.go).  Each Partition owns a private kernel — no event,
+// process, or resource is shared — and declares a Horizon: the earliest
+// simulated time at which it might need to interact with another
+// partition (the conservative lookahead of classic parallel
+// discrete-event simulation).  A Coordinator advances all partitions in
+// lock-step windows: each window runs every kernel to the minimum
+// horizon (Kernel.Run fires events with time ≤ the bound and parks the
+// clock exactly on it), then a caller-supplied exchange callback
+// performs the cross-partition interaction at the barrier.  Within a
+// window partitions are independent by construction, so the Coordinator
+// may step them on parallel worker goroutines; determinism is preserved
+// because no kernel is ever observed mid-window and the exchange runs
+// single-threaded at the barrier.
+//
+// Cross-partition interactions are carried by Message values ordered by
+// SortMessages under the (At, Seq, Shard) key — a total order fixed by
+// the simulation content alone.  The combined system is therefore
+// bit-for-bit deterministic for any worker count, including workers=1:
+// the parallelism is an execution knob, never a semantic one.  The
+// rtdbs layer builds on this to run multi-tenant configurations as one
+// cell per partition, coupled only through the global memory broker at
+// window barriers.
 package sim

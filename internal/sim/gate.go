@@ -23,6 +23,14 @@ type Gate struct {
 	seq        uint64
 	head, tail *Waiting
 	n          int
+	// eligMin is a cached lower bound on the Prio of every queued
+	// waiter: lowered on enqueue, reset when the queue empties, and
+	// never touched by removals (removing a waiter can only raise the
+	// true minimum, so the bound stays valid). MinWaiter uses it to
+	// stop at the first eligible waiter instead of rescanning the full
+	// list on every release, and tightens it whenever a full scan does
+	// happen.
+	eligMin float64
 }
 
 // Waiting is one process queued at a Gate.
@@ -84,6 +92,43 @@ func (g *Gate) Waiters() []*Waiting {
 	return out
 }
 
+// MinWaiter returns the queued waiter with the lowest Prio, first
+// arrival among ties (the exact pick of an arrival-order scan with a
+// strict < comparison), or nil for an empty gate. The scan stops at the
+// first waiter whose Prio is at or below the cached eligibility bound:
+// such a waiter ties the true minimum, and every waiter passed over
+// arrived earlier with a strictly higher Prio, so the early exit
+// preserves the FIFO tie-break bit for bit. When the bound has gone
+// stale (all eligible waiters have left), the one full scan that
+// detects it also re-tightens the bound to the true minimum.
+func (g *Gate) MinWaiter() *Waiting {
+	var best *Waiting
+	for w := g.head; w != nil; w = w.next {
+		if w.Prio <= g.eligMin {
+			return w
+		}
+		if best == nil || w.Prio < best.Prio {
+			best = w
+		}
+	}
+	if best != nil {
+		g.eligMin = best.Prio
+	}
+	return best
+}
+
+// MinPrio reports the lowest Prio among queued waiters. The boolean is
+// false for an empty gate. This is the lookahead hook partitioned
+// simulations use to bound how far a shard owning this gate can be
+// affected from outside.
+func (g *Gate) MinPrio() (float64, bool) {
+	w := g.MinWaiter()
+	if w == nil {
+		return 0, false
+	}
+	return w.Prio, true
+}
+
 // remove unlinks w from the queue, preserving order.
 func (g *Gate) remove(w *Waiting) {
 	if w.removed {
@@ -114,9 +159,13 @@ func (g *Gate) enqueue(c *taskCore, prio float64, data any, val float64) {
 	g.seq++
 	if g.tail == nil {
 		g.head = w
+		g.eligMin = prio
 	} else {
 		g.tail.next = w
 		w.prev = g.tail
+		if prio < g.eligMin {
+			g.eligMin = prio
+		}
 	}
 	g.tail = w
 	g.n++

@@ -139,23 +139,34 @@ func (p *InlineProc) runTurn() {
 	} else {
 		p.started = true
 	}
+	// The drive loop keeps the top frame and stack index in locals: each
+	// iteration is one indirect call plus a switch, with no slice reload
+	// and no write barrier. Popped slots are not nilled — frames are
+	// per-process singletons the process already keeps alive, so leaving
+	// a stale interface word below the stack pointer retains nothing
+	// extra; Call overwrites it on the next push.
 	m := &p.m
+	sp := len(m.stack) - 1
+	top := m.stack[sp]
 	for {
-		switch m.stack[len(m.stack)-1].Step(m, ok) {
+		switch top.Step(m, ok) {
 		case Park:
 			p.state = procParked
 			return
 		case Call:
 			ok = true
+			sp = len(m.stack) - 1
+			top = m.stack[sp]
 		case Ret:
-			m.stack[len(m.stack)-1] = nil
-			m.stack = m.stack[:len(m.stack)-1]
+			m.stack = m.stack[:sp]
 			ok = m.ret
-			if len(m.stack) == 0 {
+			if sp == 0 {
 				p.state = procDead
 				p.k.procs--
 				return
 			}
+			sp--
+			top = m.stack[sp]
 		default:
 			panic("sim: frame returned an invalid status")
 		}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Partitioned (parallel) simulation: one simulated system sharded across
+// several kernels, synchronized by classic conservative lookahead in
+// window-barrier form. Each partition owns a kernel and declares a
+// Horizon — the earliest future time at which it can interact with
+// another partition. The Coordinator repeatedly advances every partition
+// to the minimum horizon (the global lower bound), then runs a
+// single-threaded exchange at that barrier in which cross-partition
+// interactions are applied in a fixed total order. Because no partition
+// ever runs past the earliest possible interaction, and the exchange is
+// deterministic, the combined simulation is bit-for-bit identical for
+// any worker count — including workers = 1 — which is what lets golden
+// digests extend to the parallel path.
+
+// Partition is one shard of a partitioned simulation. Implementations
+// wrap a kernel plus the model state that runs on it; the contract is
+// that the partition's model cannot affect, or be affected by, another
+// partition at any time strictly before Horizon().
+type Partition interface {
+	// Kernel returns the shard's simulation kernel.
+	Kernel() *Kernel
+	// Horizon returns the partition's lookahead bound: the earliest
+	// future simulation time at which it can interact with another
+	// partition. Returning math.Inf(1) means the partition is fully
+	// decoupled for the rest of the run. Horizon must be monotonically
+	// non-decreasing and must advance past each barrier the exchange
+	// handles, or the coordinator cannot make progress.
+	Horizon() float64
+}
+
+// Coordinator drives a set of partitions with window barriers.
+type Coordinator struct {
+	parts   []Partition
+	workers int
+	// exchange applies cross-partition interactions at a barrier time.
+	// It runs single-threaded, after every partition has advanced to
+	// exactly that time and before any partition resumes.
+	exchange func(now float64)
+	now      float64
+}
+
+// NewCoordinator builds a coordinator over the given partitions.
+// workers bounds how many partitions advance concurrently within one
+// window (values < 1 mean sequential execution); it affects wall-clock
+// time only, never results. exchange may be nil for fully decoupled
+// partitions.
+func NewCoordinator(parts []Partition, workers int, exchange func(now float64)) *Coordinator {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	return &Coordinator{parts: parts, workers: workers, exchange: exchange}
+}
+
+// Now returns the global lower bound on simulation time: every partition
+// has advanced to at least this time.
+func (c *Coordinator) Now() float64 { return c.now }
+
+// Run advances all partitions to time until. Each window computes the
+// global bound min(partition horizons, until), advances every partition
+// to it — concurrently when workers > 1; kernels never share state, so
+// the only synchronization is the barrier itself — and, when the bound
+// is an interaction horizon rather than the end time, runs the exchange
+// at the barrier before opening the next window.
+func (c *Coordinator) Run(until float64) {
+	for c.now < until {
+		bound := until
+		for _, p := range c.parts {
+			if h := p.Horizon(); h < bound {
+				bound = h
+			}
+		}
+		c.advanceAll(bound)
+		c.now = bound
+		if bound >= until {
+			break
+		}
+		if c.exchange != nil {
+			c.exchange(bound)
+		}
+	}
+}
+
+// advanceAll runs every partition's kernel to the bound.
+func (c *Coordinator) advanceAll(bound float64) {
+	if c.workers <= 1 || len(c.parts) == 1 {
+		for _, p := range c.parts {
+			p.Kernel().Run(bound)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < c.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(c.parts) {
+					return
+				}
+				c.parts[i].Kernel().Run(bound)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Message is one cross-partition interaction record, exchanged at a
+// window barrier. The triple (At, Seq, Shard) is its position in the
+// combined event order; Kind and the payload words are owner-defined.
+type Message struct {
+	// At is the simulation time of the interaction (the barrier time).
+	At float64
+	// Seq orders messages from the same shard at the same time.
+	Seq uint64
+	// Shard identifies the emitting partition.
+	Shard int32
+	// Kind tags the interaction type (owner-defined).
+	Kind int32
+	// A and B are payload words (owner-defined).
+	A, B int64
+}
+
+// SortMessages puts a barrier's messages into the deterministic
+// (At, Seq, Shard) total order in which every exchange must fold them.
+// The order is a property of the messages alone — independent of worker
+// count, collection order, or goroutine interleaving — which is what
+// makes a partitioned run reproduce the same combined event order as a
+// sequential one. Ties on all three keys cannot occur between distinct
+// messages (Seq is unique per shard and time).
+func SortMessages(ms []Message) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Shard < b.Shard
+	})
+}
+
+// InfHorizon is the horizon of a fully decoupled partition.
+func InfHorizon() float64 { return math.Inf(1) }

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// tickPart is a toy partition: a kernel running a self-rescheduling
+// event that logs (time, id, counter) tuples, with an epoch-boundary
+// horizon like the production cells use.
+type tickPart struct {
+	k        *Kernel
+	id       int
+	interval float64
+	epochs   int
+	log      []float64
+	count    int64
+}
+
+func (p *tickPart) Kernel() *Kernel  { return p.k }
+func (p *tickPart) Horizon() float64 { return p.interval * float64(p.epochs+1) }
+func (p *tickPart) bump(now float64) { p.count++; p.log = append(p.log, now) }
+
+func newTickPart(id int, period, interval float64) *tickPart {
+	p := &tickPart{k: NewKernel(), id: id, interval: interval}
+	var tick func()
+	tick = func() {
+		p.bump(p.k.Now())
+		p.k.At(period, tick)
+	}
+	p.k.At(period, tick)
+	return p
+}
+
+// TestCoordinatorDeterministicAcrossWorkers drives the same partition
+// set with every worker count and checks bit-identical outcomes: same
+// per-partition logs, same exchange trace, same final clocks.
+func TestCoordinatorDeterministicAcrossWorkers(t *testing.T) {
+	type outcome struct {
+		logs    [][]float64
+		trace   []Message
+		steps   []uint64
+		nows    []float64
+		coordAt float64
+	}
+	run := func(workers int) outcome {
+		parts := []*tickPart{
+			newTickPart(0, 0.7, 5),
+			newTickPart(1, 1.3, 5),
+			newTickPart(2, 0.31, 5),
+			newTickPart(3, 2.9, 5),
+		}
+		ps := make([]Partition, len(parts))
+		for i, p := range parts {
+			ps[i] = p
+		}
+		var trace []Message
+		exchange := func(now float64) {
+			// Collect one report per partition, merge them in the
+			// canonical order, and append to the trace — then open the
+			// next window.
+			var ms []Message
+			for _, p := range parts {
+				ms = append(ms, Message{
+					At: now, Seq: uint64(p.epochs), Shard: int32(p.id), A: p.count,
+				})
+				p.epochs++
+			}
+			SortMessages(ms)
+			trace = append(trace, ms...)
+		}
+		c := NewCoordinator(ps, workers, exchange)
+		c.Run(42)
+		out := outcome{coordAt: c.Now()}
+		for _, p := range parts {
+			out.logs = append(out.logs, p.log)
+			out.steps = append(out.steps, p.k.Steps())
+			out.nows = append(out.nows, p.k.Now())
+		}
+		out.trace = trace
+		return out
+	}
+	base := run(1)
+	if base.coordAt != 42 {
+		t.Fatalf("coordinator stopped at %g, want 42", base.coordAt)
+	}
+	for _, p := range base.nows {
+		if p != 42 {
+			t.Fatalf("partition clocks %v, want all 42", base.nows)
+		}
+	}
+	if len(base.trace) == 0 {
+		t.Fatal("no exchanges ran")
+	}
+	for workers := 2; workers <= 6; workers++ {
+		got := run(workers)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d: outcome differs from sequential run", workers)
+		}
+	}
+}
+
+// TestCoordinatorBarrierOrdering checks the conservative-lookahead
+// contract: the exchange at barrier time T observes every partition
+// advanced to exactly T, and no partition has run past T.
+func TestCoordinatorBarrierOrdering(t *testing.T) {
+	parts := []*tickPart{newTickPart(0, 0.5, 3), newTickPart(1, 0.9, 3)}
+	ps := []Partition{parts[0], parts[1]}
+	var barriers []float64
+	exchange := func(now float64) {
+		for _, p := range parts {
+			if p.k.Now() != now {
+				t.Fatalf("barrier at %g: partition %d clock at %g", now, p.id, p.k.Now())
+			}
+			for _, ts := range p.log {
+				if ts > now {
+					t.Fatalf("partition %d ran event at %g past barrier %g", p.id, ts, now)
+				}
+			}
+			p.epochs++
+		}
+		barriers = append(barriers, now)
+	}
+	NewCoordinator(ps, 2, exchange).Run(10)
+	want := []float64{3, 6, 9}
+	if !reflect.DeepEqual(barriers, want) {
+		t.Fatalf("barriers %v, want %v", barriers, want)
+	}
+}
+
+// TestSortMessagesTotalOrder fuzzes the merge comparator: shuffled
+// inputs always sort to one canonical sequence ordered by
+// (At, Seq, Shard).
+func TestSortMessagesTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var canon []Message
+	for i := 0; i < 200; i++ {
+		canon = append(canon, Message{
+			At:    float64(rng.Intn(5)),
+			Seq:   uint64(rng.Intn(4)),
+			Shard: int32(rng.Intn(6)),
+			Kind:  int32(i), // payload marker, not an order key
+			A:     int64(i),
+		})
+	}
+	SortMessages(canon)
+	for i := 1; i < len(canon); i++ {
+		a, b := canon[i-1], canon[i]
+		if a.At > b.At ||
+			(a.At == b.At && a.Seq > b.Seq) ||
+			(a.At == b.At && a.Seq == b.Seq && a.Shard > b.Shard) {
+			t.Fatalf("not ordered at %d: %+v before %+v", i, a, b)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]Message(nil), canon...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		SortMessages(shuffled)
+		// Key order must match exactly; payloads of key-tied messages
+		// may permute (production senders never emit key ties).
+		for i := range shuffled {
+			if shuffled[i].At != canon[i].At || shuffled[i].Seq != canon[i].Seq ||
+				shuffled[i].Shard != canon[i].Shard {
+				t.Fatalf("trial %d: key order diverged at %d", trial, i)
+			}
+		}
+	}
+}

@@ -134,13 +134,10 @@ func (s *Server) dispatch() {
 	if s.busy {
 		return
 	}
-	var best *Waiting
-	for w := s.gate.First(); w != nil; w = w.Next() {
-		// Arrival-order iteration makes strict < an exact FIFO tie-break.
-		if best == nil || w.Prio < best.Prio {
-			best = w
-		}
-	}
+	// MinWaiter preserves the arrival-order strict-< pick (first-arrived
+	// minimum) while skipping the full rescan when the cached eligibility
+	// bound identifies the winner early.
+	best := s.gate.MinWaiter()
 	if best == nil {
 		return
 	}

@@ -70,6 +70,19 @@ type Generator struct {
 	nextID int64
 }
 
+// ShardSeed derives the master seed for one cell (shard) of a
+// partitioned multi-tenant run. Each cell builds its full stream family
+// (arrival, relation, slack, disk rotation) from its own master seed, so
+// cells are statistically independent of each other and of every other
+// stream family for any cell count — the same splitmix64 decorrelation
+// argument the per-class streams rely on. The stream tag space ("CELL"
+// in the high word plus the shard index) is disjoint from the in-system
+// tags (100/200/300+class, 1000+disk) and the sweep runner's replicate
+// tag, so a cell seed never collides with a sibling stream.
+func ShardSeed(master int64, shard int) int64 {
+	return sim.SplitSeed(master, 0x43454C4C<<32|uint64(shard))
+}
+
 // NewGenerator builds a generator with independent deterministic streams
 // per class derived from seed.
 func NewGenerator(cat *catalog.Catalog, dp disk.Params, mips float64,

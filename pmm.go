@@ -141,13 +141,12 @@ const (
 // New assembles a simulator for cfg without running it.
 func New(cfg Config) (*System, error) { return rtdbs.New(cfg) }
 
-// Run assembles and runs a simulation to its configured horizon.
+// Run assembles and runs a simulation to its configured horizon: the
+// classic single-kernel system, or — when cfg.Tenants > 1 — the
+// partitioned multi-tenant path, sharded across cfg.Shards workers with
+// results independent of the worker count.
 func Run(cfg Config) (*Results, error) {
-	sys, err := rtdbs.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return sys.Run(), nil
+	return rtdbs.Simulate(cfg, nil)
 }
 
 // Sweep expands spec's axes into a grid of configurations, runs every

@@ -141,3 +141,19 @@ func ScaledConfig(k float64) Config {
 	}
 	return cfg
 }
+
+// MultiTenantConfig returns the partitioned-execution preset: `tenants`
+// independent cells of the §5.1 baseline topology — each a complete
+// 10-disk, 2560-page, one-class system — coupled only by the global
+// memory broker rebalancing the combined Tenants×2560-page budget every
+// simulated second. This is the scaled-up "many lines of business on
+// one box" topology the partitioned path exists for: simulated work
+// grows linearly with tenants while each cell's event loop stays the
+// baseline size, so wall clock scales down with Shards (results are
+// identical for every Shards value).
+func MultiTenantConfig(tenants int) Config {
+	cfg := BaselineConfig()
+	cfg.Tenants = tenants
+	cfg.SyncInterval = 1.0
+	return cfg
+}
