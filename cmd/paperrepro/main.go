@@ -57,6 +57,7 @@ func main() {
 		maxReps = flag.Int("max-reps", 32, "replicate cap per point under -precision")
 		tenants = flag.Int("tenants", 0, "add the multi-tenant partitioned report with this many broker-coupled baseline cells (report id: tenants)")
 		shards  = flag.Int("shards", 0, "worker threads for partitioned runs (results identical for any value)")
+		clients = flag.Int("clients", 0, "client population of the open-system overload report (0 = 100000; count-batched — report id: overload)")
 	)
 	flag.Parse()
 	stopProfile, err := prof.StartCPU(*profile)
@@ -91,7 +92,7 @@ func main() {
 		Seed: *seed, Quick: *quick, Horizon: *horizon,
 		Reps: *reps, Workers: *workers,
 		Precision: *prec, MaxReps: *maxReps,
-		Tenants: *tenants, Shards: *shards,
+		Tenants: *tenants, Shards: *shards, Clients: *clients,
 	}
 	if *cache != "" {
 		store, err := pmm.OpenResultStore(*cache)

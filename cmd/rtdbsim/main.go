@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		preset  = flag.String("preset", "baseline", "workload preset: baseline | contention | sorts | changes | multiclass")
+		preset  = flag.String("preset", "baseline", "workload preset: baseline | contention | sorts | changes | multiclass | overload")
 		policy  = flag.String("policy", "pmm", "allocation policy: max | minmax | proportional | pmm | fairpmm")
 		mpl     = flag.Int("mpl", 0, "MPL limit N for minmax/proportional (0 = unlimited)")
 		rate    = flag.Float64("rate", 0, "arrival rate of the first class in queries/sec (0 = preset default)")
@@ -58,6 +58,9 @@ func main() {
 		tenants = flag.Int("tenants", 0, "replicate the preset into this many broker-coupled cells (0/1 = single-tenant)")
 		shards  = flag.Int("shards", 0, "worker threads advancing cells in parallel (multi-tenant only; results identical for any value)")
 		sync    = flag.Float64("sync", 0, "broker epoch length in simulated seconds (0 = default 1.0; multi-tenant only)")
+		stretch = flag.Int("stretch", 0, "adaptive broker lookahead: widen the barrier up to this many epochs while no cell changes demand class (0/1 = fixed; multi-tenant only)")
+		clients = flag.Int("clients", 0, "simulated client population of the overload preset (0 = 100000; count-batched, any N costs one timer per class)")
+		admit   = flag.Int("admit", -1, "admission-queue bound: arrivals beyond this many waiting queries are rejected (-1 = preset default, 0 = unbounded)")
 	)
 	flag.Parse()
 	stopProfile, err := prof.StartCPU(*profile)
@@ -93,6 +96,8 @@ func main() {
 		cfg = pmm.WorkloadChangeConfig()
 	case "multiclass":
 		cfg = pmm.MulticlassConfig(*small)
+	case "overload":
+		cfg = pmm.OverloadConfig(*clients)
 	default:
 		stopProfile()
 		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *preset)
@@ -133,10 +138,14 @@ func main() {
 	if *memory > 0 {
 		cfg.MemoryPages = *memory
 	}
+	if *admit >= 0 {
+		cfg.AdmitQueue = *admit
+	}
 	if *tenants > 1 {
 		cfg.Tenants = *tenants
 		cfg.Shards = *shards
 		cfg.SyncInterval = *sync
+		cfg.SyncStretch = *stretch
 	}
 
 	spec := pmm.SweepSpec{Base: cfg, Reps: *reps, Workers: *workers, Confidence: *conf}
@@ -175,10 +184,18 @@ func main() {
 		return
 	}
 	fmt.Printf("arrived           %d\n", res.Arrived)
+	if res.Rejected > 0 {
+		fmt.Printf("rejected          %d (%.2f%% loss at the admission queue, avg queue delay %.1f s)\n",
+			res.Rejected, 100*res.LossRatio, res.AvgQueueDelay)
+	}
 	fmt.Printf("terminated        %d (completed %d, missed %d)\n", res.Terminated, res.Completed, res.Missed)
 	fmt.Printf("miss ratio        %.2f%% (±%.2f%% at 90%%)\n", 100*res.MissRatio, 100*res.MissRatioHW90)
 	for _, c := range res.PerClass {
-		fmt.Printf("  class %-8s  %d terminated, %.2f%% missed\n", c.Name, c.Terminated, 100*c.MissRatio)
+		fmt.Printf("  class %-8s  %d terminated, %.2f%% missed", c.Name, c.Terminated, 100*c.MissRatio)
+		if c.Rejected > 0 {
+			fmt.Printf(", %d rejected", c.Rejected)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("avg waiting       %.1f s\n", res.AvgWait)
 	fmt.Printf("avg execution     %.1f s\n", res.AvgExec)
@@ -296,9 +313,11 @@ type replicateJSON struct {
 	Rep         int     `json:"rep"`
 	Seed        int64   `json:"seed"`
 	Arrived     int     `json:"arrived"`
+	Rejected    int     `json:"rejected,omitempty"`
 	Terminated  int     `json:"terminated"`
 	Missed      int     `json:"missed"`
 	MissRatio   float64 `json:"missRatio"`
+	LossRatio   float64 `json:"lossRatio,omitempty"`
 	AvgMPL      float64 `json:"avgMPL"`
 	AvgDiskUtil float64 `json:"avgDiskUtil"`
 	CPUUtil     float64 `json:"cpuUtil"`
@@ -332,8 +351,8 @@ func emitJSON(cfg pmm.Config, preset string, seed int64, runs []*pmm.Results, ag
 	for i, r := range runs {
 		doc.Replicates = append(doc.Replicates, replicateJSON{
 			Rep: i, Seed: pmm.ReplicateSeed(seed, i),
-			Arrived: r.Arrived, Terminated: r.Terminated, Missed: r.Missed,
-			MissRatio: r.MissRatio, AvgMPL: r.AvgMPL,
+			Arrived: r.Arrived, Rejected: r.Rejected, Terminated: r.Terminated, Missed: r.Missed,
+			MissRatio: r.MissRatio, LossRatio: r.LossRatio, AvgMPL: r.AvgMPL,
 			AvgDiskUtil: r.AvgDiskUtil, CPUUtil: r.CPUUtil, AvgResponse: r.AvgResponse,
 		})
 	}

@@ -253,3 +253,63 @@ func TestGoldenPhaseShiftDigests(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenOverloadDigests pins the digest contract for the
+// count-batched modulated-arrival path: the overload preset (a diurnal
+// 100k-client population behind a bounded admission queue) shortened to
+// 1500 s at a fixed seed. The run exercises the thinning loop, the
+// batched source frame, and the admission gate together, so a change to
+// envelope construction, acceptance draws, stream layout, or rejection
+// handling shows up here as a digest mismatch and must be intentional.
+func TestGoldenOverloadDigests(t *testing.T) {
+	golden := []struct {
+		name                                         string
+		pol                                          pmm.PolicyConfig
+		steps                                        uint64
+		arrived, rejected, completed, missed, events int
+		missRatio, lossRatio                         string
+	}{
+		{"Max", pmm.PolicyConfig{Kind: pmm.PolicyMax}, 1918054, 4807, 692, 2011, 2068, 4079, "0.506987006619", "0.143956729769"},
+		{"MinMax", pmm.PolicyConfig{Kind: pmm.PolicyMinMax}, 1856126, 4807, 0, 1299, 3470, 4769, "0.727615852380", "0.000000000000"},
+		{"PMM", pmm.PolicyConfig{Kind: pmm.PolicyPMM}, 1918054, 4807, 692, 2011, 2068, 4079, "0.506987006619", "0.143956729769"},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := pmm.OverloadConfig(100_000)
+			cfg.Seed = 42
+			cfg.Duration = 1500
+			cfg.Policy = g.pol
+			sys, err := pmm.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := sys.Run()
+			if got := sys.Kernel().Steps(); got != g.steps {
+				t.Errorf("kernel steps = %d, want %d", got, g.steps)
+			}
+			if r.Arrived != g.arrived {
+				t.Errorf("arrived = %d, want %d", r.Arrived, g.arrived)
+			}
+			if r.Rejected != g.rejected {
+				t.Errorf("rejected = %d, want %d", r.Rejected, g.rejected)
+			}
+			if r.Completed != g.completed {
+				t.Errorf("completed = %d, want %d", r.Completed, g.completed)
+			}
+			if r.Missed != g.missed {
+				t.Errorf("missed = %d, want %d", r.Missed, g.missed)
+			}
+			if got := len(r.Events); got != g.events {
+				t.Errorf("termination events = %d, want %d", got, g.events)
+			}
+			if got := fmt.Sprintf("%.12f", r.MissRatio); got != g.missRatio {
+				t.Errorf("miss ratio = %s, want %s", got, g.missRatio)
+			}
+			if got := fmt.Sprintf("%.12f", r.LossRatio); got != g.lossRatio {
+				t.Errorf("loss ratio = %s, want %s", got, g.lossRatio)
+			}
+		})
+	}
+}

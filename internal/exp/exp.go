@@ -46,6 +46,10 @@ type Options struct {
 	// Tenants, when > 1, adds the multi-tenant partitioned-execution
 	// report: that many broker-coupled baseline cells per run.
 	Tenants int
+	// Clients is the simulated client population of the open-system
+	// overload report (default 100 000). Population is count-batched, so
+	// any value — including 10⁶ — costs one kernel timer per class.
+	Clients int
 	// Shards is the worker-thread count for partitioned runs. Purely an
 	// execution knob — reported results are identical for every value.
 	Shards int
@@ -350,6 +354,7 @@ func All(o Options) ([]*Report, error) {
 		ExternalSorts,
 		Multiclass,
 		Scalability,
+		Overload,
 		MultiTenant,
 	}
 	for _, step := range steps {

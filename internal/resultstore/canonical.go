@@ -33,7 +33,9 @@ import (
 // together with any change to CanonicalText's output.
 // v2: multi-tenant partitioned runs — tenants and syncInterval joined
 // the canonical text (Shards is a pure execution knob and stays out).
-const formatVersion = "v2"
+// v3: count-batched workloads — class lines carry population and
+// modulation, and admitQueue/syncStretch joined the config lines.
+const formatVersion = "v3"
 
 // Key is the content address of one simulation result: the SHA-256 of
 // the epoch-salted canonical configuration text.
@@ -94,8 +96,13 @@ func CanonicalText(cfg rtdbs.Config) string {
 	}
 	line("classes", len(c.Classes))
 	for _, cl := range c.Classes {
+		// Canonical() has already normalized Population ≤ 1 to 0 and
+		// zeroed the unselected modulation kind's parameters.
+		m := cl.Modulation
 		vals := []any{cl.Name, int(cl.Kind), cl.ArrivalRate,
-			cl.SlackRange[0], cl.SlackRange[1], len(cl.RelGroups)}
+			cl.SlackRange[0], cl.SlackRange[1], cl.Population,
+			int(m.Kind), m.Period, m.Amplitude, m.Phase,
+			m.BurstFactor, m.MeanNormal, m.MeanBurst, len(cl.RelGroups)}
 		for _, rg := range cl.RelGroups {
 			vals = append(vals, rg)
 		}
@@ -124,10 +131,12 @@ func CanonicalText(cfg rtdbs.Config) string {
 		line("fairness", vals...)
 	}
 	line("paceFactor", c.PaceFactor)
-	// Canonical() zeroes both for single-tenant configs and always
-	// zeroes Shards, which never appears here: every Shards value
+	line("admitQueue", c.AdmitQueue)
+	// Canonical() zeroes the broker fields for single-tenant configs and
+	// always zeroes Shards, which never appears here: every Shards value
 	// replays to the same result, so all of them share one key.
 	line("tenants", c.Tenants)
 	line("syncInterval", c.SyncInterval)
+	line("syncStretch", c.SyncStretch)
 	return b.String()
 }

@@ -91,6 +91,30 @@ func TestKeyIgnoresConstructionOrder(t *testing.T) {
 	if KeyFor(st) != ka {
 		t.Fatalf("SyncInterval changed a single-tenant key:\n%s", CanonicalText(st))
 	}
+	// Population 0 and 1 are the same single-client source, and
+	// parameters of an unselected modulation kind are stray state.
+	pop := testConfig()
+	pop.Classes[0].ArrivalRate = 0.07
+	pop.Classes[0].Population = 1
+	pop.Classes[0].Modulation = workload.Modulation{Kind: workload.ModNone, Period: 9, BurstFactor: 5}
+	if KeyFor(pop) != ka {
+		t.Fatalf("Population 1 / stray modulation params changed the key:\n%s", CanonicalText(pop))
+	}
+	// SyncStretch 1 is the fixed barrier, and single-tenant configs
+	// ignore it like SyncInterval.
+	mt3 := testConfig()
+	mt3.Tenants = 3
+	mt4 := mt3
+	mt4.SyncStretch = 1
+	if KeyFor(mt3) != KeyFor(mt4) {
+		t.Fatalf("SyncStretch 1 changed a multi-tenant key:\n%s", CanonicalText(mt4))
+	}
+	ss := testConfig()
+	ss.Classes[0].ArrivalRate = 0.07
+	ss.SyncStretch = 8
+	if KeyFor(ss) != ka {
+		t.Fatalf("SyncStretch changed a single-tenant key:\n%s", CanonicalText(ss))
+	}
 }
 
 // TestKeyDistinguishesBehavior asserts the converse: fields that do
@@ -119,6 +143,22 @@ func TestKeyDistinguishesBehavior(t *testing.T) {
 			c.Tenants = 4
 			c.SyncInterval = 2.5
 		},
+		"syncStretch": func(c *rtdbs.Config) {
+			c.Tenants = 4
+			c.SyncStretch = 8
+		},
+		"admitQueue": func(c *rtdbs.Config) { c.AdmitQueue = 64 },
+		"population": func(c *rtdbs.Config) { c.Classes[0].Population = 1000 },
+		"modulation": func(c *rtdbs.Config) {
+			c.Classes[0].Modulation = workload.Modulation{
+				Kind: workload.ModDiurnal, Period: 3600, Amplitude: 0.5,
+			}
+		},
+		"modParam": func(c *rtdbs.Config) {
+			c.Classes[0].Modulation = workload.Modulation{
+				Kind: workload.ModDiurnal, Period: 3600, Amplitude: 0.7,
+			}
+		},
 	}
 	k0 := KeyFor(base)
 	for name, mutate := range mutations {
@@ -137,7 +177,7 @@ func TestKeyDistinguishesBehavior(t *testing.T) {
 // because the canonical format or the simulation epoch changed
 // intentionally, update the constant — that IS the cache invalidation.
 func TestKeyGolden(t *testing.T) {
-	const want = "2acb5a7e2c19235589838633c391d10097137b12fd31fc1fa0560ec3a8f37159"
+	const want = "9f197ad4b2893d553d53b845e71083575d96ad58a50dea64569cb874f0639196"
 	got := KeyFor(testConfig()).String()
 	if got != want {
 		t.Fatalf("golden key drifted:\n got %s\nwant %s\ncanonical text:\n%s",
@@ -156,12 +196,13 @@ func TestCanonicalCoversAllConfigFields(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		"rtdbs.Config":        {reflect.TypeOf(rtdbs.Config{}), 15},
+		"rtdbs.Config":        {reflect.TypeOf(rtdbs.Config{}), 17},
 		"rtdbs.PolicyConfig":  {reflect.TypeOf(rtdbs.PolicyConfig{}), 4},
 		"rtdbs.Phase":         {reflect.TypeOf(rtdbs.Phase{}), 2},
 		"disk.Params":         {reflect.TypeOf(disk.Params{}), 7},
 		"catalog.GroupSpec":   {reflect.TypeOf(catalog.GroupSpec{}), 2},
-		"workload.ClassSpec":  {reflect.TypeOf(workload.ClassSpec{}), 5},
+		"workload.ClassSpec":  {reflect.TypeOf(workload.ClassSpec{}), 7},
+		"workload.Modulation": {reflect.TypeOf(workload.Modulation{}), 7},
 		"core.Config":         {reflect.TypeOf(core.Config{}), 6},
 		"core.FairnessConfig": {reflect.TypeOf(core.FairnessConfig{}), 3},
 	}

@@ -87,6 +87,16 @@ type Config struct {
 	// their minimum allocation (ablation knob; see query.Env.PaceFactor).
 	PaceFactor float64
 
+	// AdmitQueue > 0 bounds the admission queue: an arrival finding that
+	// many queries already waiting for their first memory grant is
+	// rejected at the door (counted per class, no query state built)
+	// instead of queueing unboundedly. 0 keeps the paper's open
+	// admission, where every arrival waits until its deadline. This is
+	// the open-system overload valve: with it, arrival rate may exceed
+	// service capacity indefinitely at bounded kernel state, trading
+	// deadline misses for explicit load shedding.
+	AdmitQueue int
+
 	// Tenants > 1 replicates the configured topology into that many
 	// independent cells — each with its own CPU, disk farm, buffer pool,
 	// workload sources (independent splitmix64 seed streams), and
@@ -104,6 +114,16 @@ type Config struct {
 	// Defaults to 1.0 when Tenants > 1; ignored (canonicalized to 0)
 	// otherwise.
 	SyncInterval float64
+	// SyncStretch > 1 enables adaptive broker lookahead for multi-tenant
+	// runs: when no cell changed its demand class (memory-constrained or
+	// not) since the previous exchange, the effective barrier interval
+	// doubles, up to SyncStretch × SyncInterval, and snaps back to one
+	// interval as soon as any cell's class flips. Widening the barrier
+	// changes when the broker looks — so it is part of the canonical
+	// configuration — but results stay bit-identical across Shards
+	// values, exactly as with a fixed interval. 0 or 1 keeps the fixed
+	// barrier.
+	SyncStretch int
 	// Shards is the number of worker threads that advance cells
 	// concurrently in a multi-tenant run. It is purely an execution
 	// knob: results are bit-for-bit identical for every value, so it is
@@ -174,6 +194,11 @@ func (c Config) validate() error {
 		if ph.Duration <= 0 {
 			return fmt.Errorf("rtdbs: non-positive phase duration %g", ph.Duration)
 		}
+		for i, rate := range ph.Rates {
+			if rate < 0 {
+				return fmt.Errorf("rtdbs: phase rate %g for class %d is negative", rate, i)
+			}
+		}
 	}
 	if c.Policy.MPLLimit < 0 {
 		return fmt.Errorf("rtdbs: negative MPL limit %d", c.Policy.MPLLimit)
@@ -186,6 +211,21 @@ func (c Config) validate() error {
 	}
 	if c.SyncInterval < 0 {
 		return fmt.Errorf("rtdbs: negative sync interval %g", c.SyncInterval)
+	}
+	if c.SyncStretch < 0 {
+		return fmt.Errorf("rtdbs: negative sync stretch %d", c.SyncStretch)
+	}
+	if c.AdmitQueue < 0 {
+		return fmt.Errorf("rtdbs: negative admission-queue bound %d", c.AdmitQueue)
+	}
+	for i, cl := range c.Classes {
+		// Zero-rate simple classes are legal (a disabled class, e.g. a
+		// sweep axis at 0); negative rates and rate-less batched classes
+		// are rejected by NewGenerator at build time.
+		if cl.Batched() && len(c.Phases) > 0 {
+			return fmt.Errorf("rtdbs: class %d (%q) combines population/modulation with phased rates; pick one",
+				i, cl.Name)
+		}
 	}
 	return nil
 }
@@ -232,13 +272,26 @@ func (c Config) Canonical() Config {
 		pol.Fairness.Weights = w
 	}
 	c.Policy = pol
+	// Population ≤ 1 and stray parameters of an unselected modulation
+	// kind simulate identically to their zeroed spelling; normalize the
+	// classes (on a copy — Canonical must not mutate the caller's slice).
+	cls := append([]workload.ClassSpec(nil), c.Classes...)
+	for i := range cls {
+		cls[i] = cls[i].CanonicalSpec()
+	}
+	c.Classes = cls
 	// Shards is a pure execution knob — every value produces the same
 	// results — so it never participates in content addressing. A
-	// single-tenant run ignores SyncInterval entirely.
+	// single-tenant run ignores SyncInterval and SyncStretch entirely,
+	// and stretch 1 is the fixed barrier.
 	c.Shards = 0
+	if c.SyncStretch <= 1 {
+		c.SyncStretch = 0
+	}
 	if c.Tenants <= 1 {
 		c.Tenants = 0
 		c.SyncInterval = 0
+		c.SyncStretch = 0
 	}
 	return c
 }

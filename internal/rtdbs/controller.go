@@ -24,6 +24,9 @@ type controller struct {
 	alloc    policy.Allocator
 	present  []*query.Query
 	mplMeter *sim.TimeWeighted
+	// waiting counts present queries with no memory grant — the
+	// admission-queue occupancy the bounded-queue door tests against.
+	waiting int
 }
 
 func newController(s *System, alloc policy.Allocator) *controller {
@@ -33,6 +36,7 @@ func newController(s *System, alloc policy.Allocator) *controller {
 // Arrive registers a new query and replans.
 func (c *controller) Arrive(q *query.Query) {
 	c.present = append(c.present, q)
+	c.waiting++
 	c.replan()
 }
 
@@ -49,6 +53,8 @@ func (c *controller) Depart(q *query.Query, completed bool) {
 		q.Alloc = 0
 		c.s.pool.Release(q.ID)
 		c.mplMeter.Add(-1)
+	} else {
+		c.waiting--
 	}
 	c.s.met.recordTermination(q, completed)
 	if obs, ok := c.alloc.(terminationObserver); ok {
@@ -96,10 +102,13 @@ func (c *controller) apply(q *query.Query, n int) {
 		if !q.Admitted {
 			q.Admitted = true
 			q.AdmitTime = c.s.k.Now()
+			c.s.met.queueDelay.Add(q.AdmitTime - q.Arrival)
 		}
 		c.mplMeter.Add(1)
+		c.waiting--
 	case old > 0 && n == 0:
 		c.mplMeter.Add(-1)
+		c.waiting++
 	}
 	if q.EverGranted {
 		q.Fluctuations++

@@ -22,15 +22,18 @@ type Metrics struct {
 	terminated int
 	completed  int
 	missed     int
+	rejected   int // arrivals shed at the bounded admission queue
 
-	classTerm   []int
-	classMissed []int
+	classTerm     []int
+	classMissed   []int
+	classRejected []int
 
-	wait  stats.Welford // admission wait, completed queries
-	exec  stats.Welford // execution time, completed queries
-	resp  stats.Welford // response time, completed queries
-	fluct stats.Welford // allocation changes per query, all terminations
-	ioAmp stats.Welford // IOCount/ReadIOs, completed queries
+	wait       stats.Welford // admission wait, completed queries
+	exec       stats.Welford // execution time, completed queries
+	resp       stats.Welford // response time, completed queries
+	fluct      stats.Welford // allocation changes per query, all terminations
+	ioAmp      stats.Welford // IOCount/ReadIOs, completed queries
+	queueDelay stats.Welford // arrival→first grant, every admitted query
 
 	execOverSA   stats.Welford // exec/StandAlone, completed queries
 	missedIOProg stats.Welford // IOCount/ReadIOs at abort, missed queries
@@ -43,9 +46,19 @@ type Metrics struct {
 
 func newMetrics(numClasses int) *Metrics {
 	return &Metrics{
-		classTerm:   make([]int, numClasses),
-		classMissed: make([]int, numClasses),
+		classTerm:     make([]int, numClasses),
+		classMissed:   make([]int, numClasses),
+		classRejected: make([]int, numClasses),
 	}
+}
+
+// recordRejection counts one arrival shed at the bounded admission
+// queue. Rejections never enter the termination event stream — they
+// carry no query state — so the miss-ratio time series stays a property
+// of admitted work.
+func (m *Metrics) recordRejection(class int) {
+	m.rejected++
+	m.classRejected[class]++
 }
 
 // recordTermination folds one finished query into the statistics.
@@ -100,6 +113,9 @@ type ClassResult struct {
 	Terminated int
 	Missed     int
 	MissRatio  float64
+	// Rejected counts class arrivals shed at the bounded admission
+	// queue (0 unless Config.AdmitQueue > 0).
+	Rejected int
 }
 
 // Results is the summary of one simulation run.
@@ -113,8 +129,16 @@ type Results struct {
 	Terminated int
 	Completed  int
 	Missed     int
+	// Rejected counts arrivals shed at the bounded admission queue
+	// (Config.AdmitQueue); rejected arrivals never become queries.
+	Rejected int
 	// MissRatio is missed/terminated — the paper's primary metric.
 	MissRatio float64
+	// LossRatio is rejected/arrived — the open-system shed fraction.
+	LossRatio float64
+	// AvgQueueDelay is the mean arrival→first-grant delay over every
+	// admitted query (AvgWait restricts to completed ones).
+	AvgQueueDelay float64
 	// MissRatioHW90 is the 90% batch-means half-width of MissRatio.
 	MissRatioHW90 float64
 
@@ -166,6 +190,11 @@ type Results struct {
 	// PMMRestarts counts workload-change resets (PMM only; summed over
 	// cells for multi-tenant runs).
 	PMMRestarts int
+
+	// BrokerExchanges counts broker barriers executed (multi-tenant runs
+	// only); with adaptive lookahead (Config.SyncStretch) it shrinks on
+	// unconstrained workloads.
+	BrokerExchanges int
 
 	// ShardDigest fingerprints a partitioned run's combined outcome:
 	// a SHA-256 over every cell's kernel step count and termination

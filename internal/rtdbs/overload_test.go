@@ -1,0 +1,144 @@
+package rtdbs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// popConfig is the scaled-down baseline issued by a count-batched client
+// population: pop clients whose per-client rates sum to aggregate. The
+// populations are powers of two so aggregate/pop·pop round-trips exactly
+// and the batched base rate equals the classic rate bit for bit.
+func popConfig(policy PolicyConfig, pop int, aggregate, duration float64) Config {
+	cfg := baselineConfig(policy, aggregate/float64(pop), duration)
+	cfg.Classes[0].Population = pop
+	return cfg
+}
+
+// TestBatchedPopulationIdentity: a fixed-rate population of 2¹⁰ clients
+// is, by superposition, the classic single source at the aggregate rate —
+// and because the batched source draws its gaps from the same stream at
+// the same rate, the whole simulation replays bit-identically.
+func TestBatchedPopulationIdentity(t *testing.T) {
+	pol := PolicyConfig{Kind: PolicyMinMax}
+	batched, err := Simulate(popConfig(pol, 1<<10, 0.06, 2000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := Simulate(baselineConfig(pol, 0.06, 2000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Terminated < 20 {
+		t.Fatalf("only %d terminations — run too short to be meaningful", batched.Terminated)
+	}
+	if !reflect.DeepEqual(batched, classic) {
+		t.Fatalf("population 2^10 differs from classic source at aggregate rate:\nbatched %+v\nclassic %+v",
+			batched, classic)
+	}
+}
+
+// TestPopulationScaleInvariance is the O(active queries) guarantee in
+// structural form: at the same aggregate rate, 2¹⁰ and 2²⁰ clients
+// execute the exact same kernel steps and produce identical results —
+// population size never enters the event loop.
+func TestPopulationScaleInvariance(t *testing.T) {
+	pol := PolicyConfig{Kind: PolicyPMM}
+	var steps [2]uint64
+	var res [2]*Results
+	for i, pop := range []int{1 << 10, 1 << 20} {
+		sys, err := New(popConfig(pol, pop, 0.06, 2000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res[i] = sys.Run()
+		steps[i] = sys.k.Steps()
+	}
+	if steps[0] != steps[1] {
+		t.Fatalf("kernel steps depend on population: 2^10 ran %d, 2^20 ran %d", steps[0], steps[1])
+	}
+	if !reflect.DeepEqual(res[0], res[1]) {
+		t.Fatal("results depend on population size at fixed aggregate rate")
+	}
+}
+
+// overloadedConfig drives the scaled-down baseline well past saturation
+// so a wait-queueing policy builds a real admission backlog.
+func overloadedConfig(bound int) Config {
+	cfg := baselineConfig(PolicyConfig{Kind: PolicyMax}, 0.3, 2000)
+	cfg.AdmitQueue = bound
+	return cfg
+}
+
+// TestAdmissionQueueBounds: with a bounded admission queue an overloaded
+// system sheds arrivals as explicit rejections that reconcile exactly —
+// every arrival is rejected, terminated, or still present — and
+// rejections never enter the termination stream.
+func TestAdmissionQueueBounds(t *testing.T) {
+	sys, err := New(overloadedConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	if r.Rejected == 0 {
+		t.Fatal("overloaded bounded queue rejected nothing")
+	}
+	if r.Arrived != r.Rejected+r.Terminated+len(sys.ctrl.present) {
+		t.Fatalf("arrivals don't reconcile: %d arrived, %d rejected + %d terminated + %d present",
+			r.Arrived, r.Rejected, r.Terminated, len(sys.ctrl.present))
+	}
+	if want := float64(r.Rejected) / float64(r.Arrived); r.LossRatio != want {
+		t.Fatalf("loss ratio %g, want %g", r.LossRatio, want)
+	}
+	perClass := 0
+	for _, cr := range r.PerClass {
+		perClass += cr.Rejected
+	}
+	if perClass != r.Rejected {
+		t.Fatalf("per-class rejections sum to %d, total %d", perClass, r.Rejected)
+	}
+	if len(r.Events) != r.Terminated {
+		t.Fatalf("%d events for %d terminations — rejections leaked into the stream",
+			len(r.Events), r.Terminated)
+	}
+	// The bound gates the door, not the instantaneous count: an admitted
+	// query whose allocation is later revoked re-enters the waiting state
+	// without re-queueing, so waiting may briefly exceed the bound — but
+	// it can never go negative, and new arrivals see the full count.
+	if sys.ctrl.waiting < 0 {
+		t.Fatalf("waiting count %d negative", sys.ctrl.waiting)
+	}
+	if r.AvgQueueDelay <= 0 {
+		t.Fatalf("admitted queries report no queue delay (%g) under a full queue", r.AvgQueueDelay)
+	}
+}
+
+// TestAdmissionQueueUnbounded: AdmitQueue 0 is the paper's classic
+// open-ended admission — same workload, nothing rejected.
+func TestAdmissionQueueUnbounded(t *testing.T) {
+	r, err := Simulate(overloadedConfig(0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rejected != 0 || r.LossRatio != 0 {
+		t.Fatalf("unbounded queue rejected %d (loss %g)", r.Rejected, r.LossRatio)
+	}
+}
+
+// TestAdmissionQueueTradesMissesForLoss pins the mechanism the overload
+// experiment reports: bounding the queue sheds load at the door and
+// lowers the miss ratio of the queries it admits.
+func TestAdmissionQueueTradesMissesForLoss(t *testing.T) {
+	bounded, err := Simulate(overloadedConfig(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := Simulate(overloadedConfig(0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.MissRatio >= open.MissRatio {
+		t.Fatalf("bounded queue missed %.3f, open %.3f — shedding should relieve admitted queries",
+			bounded.MissRatio, open.MissRatio)
+	}
+}

@@ -79,6 +79,18 @@ type shardedRun struct {
 	budget int // Tenants × MemoryPages
 	epochs int // broker exchanges completed
 
+	// Adaptive lookahead (Config.SyncStretch): the barrier sits at
+	// SyncInterval·(ticks+stride). stride doubles — up to SyncStretch —
+	// after every exchange in which no cell changed its demand class,
+	// and snaps back to 1 when any cell flips, so idle or unconstrained
+	// systems pay fewer barriers while contended ones keep the fine
+	// interval. Both counters are integers and the boundary is computed
+	// multiplicatively, so it stays exact for any epoch count.
+	ticks       int
+	stride      int
+	constrained []bool // demand class per cell at the last exchange
+	seen        bool   // constrained[] holds a real previous exchange
+
 	// Per-epoch scratch, reused so the barrier allocates nothing in
 	// steady state.
 	msgs   []sim.Message
@@ -100,7 +112,7 @@ func newSharded(cfg Config) (*shardedRun, error) {
 	r := &shardedRun{cfg: cfg, budget: cfg.Tenants * cfg.MemoryPages}
 	for i := 0; i < cfg.Tenants; i++ {
 		cc := cfg
-		cc.Tenants, cc.Shards, cc.SyncInterval = 0, 0, 0
+		cc.Tenants, cc.Shards, cc.SyncInterval, cc.SyncStretch = 0, 0, 0, 0
 		cc.Seed = workload.ShardSeed(cfg.Seed, i)
 		sys, err := New(cc)
 		if err != nil {
@@ -109,6 +121,8 @@ func newSharded(cfg Config) (*shardedRun, error) {
 		r.cells = append(r.cells, &cell{id: int32(i), sys: sys, run: r})
 	}
 	n := len(r.cells)
+	r.stride = 1
+	r.constrained = make([]bool, n)
 	r.msgs = make([]sim.Message, 0, n)
 	r.quotas = make([]int, n)
 	r.needs = make([]int, n)
@@ -118,7 +132,7 @@ func newSharded(cfg Config) (*shardedRun, error) {
 
 // horizon is the next epoch boundary shared by every cell.
 func (r *shardedRun) horizon() float64 {
-	return r.cfg.SyncInterval * float64(r.epochs+1)
+	return r.cfg.SyncInterval * float64(r.ticks+r.stride)
 }
 
 // run simulates the configured horizon and merges the cell results.
@@ -156,7 +170,32 @@ func (r *shardedRun) exchange(now float64) {
 	for _, c := range r.cells {
 		c.sys.ctrl.replan()
 	}
+	r.ticks += r.stride
 	r.epochs++
+	if r.cfg.SyncStretch > 1 {
+		// A cell's demand class: memory-constrained iff the broker could
+		// not cover its reported demand. Computed from the same sorted
+		// messages and final quotas every worker schedule produces, so
+		// the stride sequence — and with it every barrier time — is
+		// identical for any Shards value.
+		changed := !r.seen
+		for i, m := range r.msgs {
+			c := int(m.B) > r.quotas[i]
+			if !r.seen || c != r.constrained[m.Shard] {
+				changed = true
+			}
+			r.constrained[m.Shard] = c
+		}
+		r.seen = true
+		if changed {
+			r.stride = 1
+		} else if r.stride < r.cfg.SyncStretch {
+			r.stride *= 2
+			if r.stride > r.cfg.SyncStretch {
+				r.stride = r.cfg.SyncStretch
+			}
+		}
+	}
 }
 
 // rebalance computes and applies new cell quotas from the sorted
@@ -245,11 +284,14 @@ func (r *shardedRun) merge(now float64) *Results {
 		agg.terminated += m.terminated
 		agg.completed += m.completed
 		agg.missed += m.missed
+		agg.rejected += m.rejected
 		agg.missedNoAdm += m.missedNoAdm
 		for ci := range agg.classTerm {
 			agg.classTerm[ci] += m.classTerm[ci]
 			agg.classMissed[ci] += m.classMissed[ci]
+			agg.classRejected[ci] += m.classRejected[ci]
 		}
+		agg.queueDelay.Merge(m.queueDelay)
 		agg.wait.Merge(m.wait)
 		agg.exec.Merge(m.exec)
 		agg.resp.Merge(m.resp)
@@ -297,10 +339,15 @@ func (r *shardedRun) merge(now float64) *Results {
 	res.Terminated = agg.terminated
 	res.Completed = agg.completed
 	res.Missed = agg.missed
+	res.Rejected = agg.rejected
 	if agg.terminated > 0 {
 		res.MissRatio = float64(agg.missed) / float64(agg.terminated)
 	}
+	if agg.arrived > 0 {
+		res.LossRatio = float64(agg.rejected) / float64(agg.arrived)
+	}
 	res.MissRatioHW90 = missCI(events)
+	res.AvgQueueDelay = agg.queueDelay.Mean()
 	res.AvgWait = agg.wait.Mean()
 	res.AvgExec = agg.exec.Mean()
 	res.AvgResponse = agg.resp.Mean()
@@ -314,7 +361,10 @@ func (r *shardedRun) merge(now float64) *Results {
 	res.AvgDiskUtil = avgDisk / nc
 	res.MaxDiskUtil = maxDisk
 	for ci, cl := range cfg.Classes {
-		cr := ClassResult{Name: cl.Name, Terminated: agg.classTerm[ci], Missed: agg.classMissed[ci]}
+		cr := ClassResult{
+			Name: cl.Name, Terminated: agg.classTerm[ci],
+			Missed: agg.classMissed[ci], Rejected: agg.classRejected[ci],
+		}
 		if cr.Terminated > 0 {
 			cr.MissRatio = float64(cr.Missed) / float64(cr.Terminated)
 		}
@@ -328,6 +378,7 @@ func (r *shardedRun) merge(now float64) *Results {
 	res.LRUHits, res.LRUMisses = lruHits, lruMisses
 	res.Events = events
 	res.PMMRestarts = pmmRestarts
+	res.BrokerExchanges = r.epochs
 	res.ShardDigest = r.digest()
 	return res
 }

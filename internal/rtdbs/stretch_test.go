@@ -1,0 +1,86 @@
+package rtdbs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAdaptiveLookaheadConformance extends the partitioned conformance
+// guarantee to the adaptive barrier: with SyncStretch on, the stride
+// sequence is computed from the deterministically ordered demand
+// reports, so every Shards value still produces byte-identical Results.
+func TestAdaptiveLookaheadConformance(t *testing.T) {
+	for _, stretch := range []int{4, 8} {
+		cfg := tenantConfig(PolicyConfig{Kind: PolicyMinMax}, 3, 1, 900)
+		cfg.SyncStretch = stretch
+		base, err := Simulate(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Terminated < 20 {
+			t.Fatalf("only %d terminations — run too short to be meaningful", base.Terminated)
+		}
+		for _, shards := range []int{2, 3, 8} {
+			c := cfg
+			c.Shards = shards
+			got, err := Simulate(c, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ShardDigest != base.ShardDigest {
+				t.Errorf("stretch=%d shards=%d: digest %s != shards=1 digest %s",
+					stretch, shards, got.ShardDigest, base.ShardDigest)
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("stretch=%d shards=%d: results differ from shards=1", stretch, shards)
+			}
+		}
+	}
+}
+
+// TestAdaptiveLookaheadSavesExchanges: on a memory-rich topology no cell
+// is ever constrained, so the stride doubles to its cap and the broker
+// runs a fraction of the fixed-interval exchanges; a contended topology
+// keeps flipping demand classes and stays near the fine interval.
+func TestAdaptiveLookaheadSavesExchanges(t *testing.T) {
+	rich := baselineConfig(PolicyConfig{Kind: PolicyMinMax}, 0.04, 900)
+	rich.Tenants = 3
+	rich.SyncInterval = 1.0
+	fixed, err := Simulate(rich, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stretched := rich
+	stretched.SyncStretch = 8
+	adaptive, err := Simulate(stretched, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.BrokerExchanges == 0 || adaptive.BrokerExchanges == 0 {
+		t.Fatalf("exchange counts not reported: fixed %d adaptive %d",
+			fixed.BrokerExchanges, adaptive.BrokerExchanges)
+	}
+	if adaptive.BrokerExchanges*2 > fixed.BrokerExchanges {
+		t.Fatalf("adaptive lookahead ran %d exchanges vs %d fixed — expected at least a 2× cut on an unconstrained topology",
+			adaptive.BrokerExchanges, fixed.BrokerExchanges)
+	}
+}
+
+// TestSyncStretchCanonical: SyncStretch ≤ 1 and single-tenant stretch
+// are the fixed barrier, canonically and behaviorally.
+func TestSyncStretchCanonical(t *testing.T) {
+	cfg := tenantConfig(PolicyConfig{Kind: PolicyMinMax}, 2, 2, 600)
+	one := cfg
+	one.SyncStretch = 1
+	a, err := Simulate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(one, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SyncStretch 1 differs from the fixed barrier")
+	}
+}

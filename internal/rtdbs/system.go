@@ -205,18 +205,61 @@ func (f *sourceFrame) Step(m *sim.Machine, ok bool) sim.Status {
 			if !ok {
 				return m.Return(false)
 			}
-			s.launch(s.gen.NewQuery(f.ci, f.p.Now()))
+			s.arrive(f.ci)
 			f.PC = 0
 		}
 	}
 }
 
-// startSources spawns one Poisson source process per class.
+// batchedSourceFrame drives one count-batched (population- or
+// modulation-scaled) class: ask the aggregated workload source for the
+// next admitted arrival time, hold until it, arrive, repeat. All
+// superposition and thinning happens inside ArrivalSource.Next, so the
+// kernel sees one pending timer per class no matter how many simulated
+// clients the class represents.
+type batchedSourceFrame struct {
+	sim.FrameState
+	s   *System
+	p   sim.Task
+	src *workload.ArrivalSource
+	ci  int
+}
+
+func (f *batchedSourceFrame) Step(m *sim.Machine, ok bool) sim.Status {
+	for {
+		switch f.PC {
+		case 0: // plan the next admitted arrival
+			t := f.src.Next(f.p.Now())
+			f.PC = 1
+			if f.p.StartHold(t - f.p.Now()) {
+				return sim.Park
+			}
+			ok = false
+		case 1: // arrival hold ended
+			if !ok {
+				return m.Return(false)
+			}
+			f.s.arrive(f.ci)
+			f.PC = 0
+		}
+	}
+}
+
+// startSources spawns one source process per class: the classic Poisson
+// frame for simple fixed-rate classes (bit-identical to every pre-batch
+// release), the aggregated frame for population/modulated ones.
 func (s *System) startSources() {
 	for ci := range s.cfg.Classes {
+		name := fmt.Sprintf("source-%s", s.cfg.Classes[ci].Name)
+		if s.cfg.Classes[ci].Batched() {
+			f := sim.AllocFrom[batchedSourceFrame](s.k.Arena())
+			f.s, f.ci, f.src = s, ci, s.gen.Source(ci)
+			f.p = s.k.SpawnInline(name, f)
+			continue
+		}
 		f := sim.AllocFrom[sourceFrame](s.k.Arena())
 		f.s, f.ci = s, ci
-		f.p = s.k.SpawnInline(fmt.Sprintf("source-%s", s.cfg.Classes[ci].Name), f)
+		f.p = s.k.SpawnInline(name, f)
 	}
 }
 
@@ -260,9 +303,22 @@ func (f *queryFrame) Step(m *sim.Machine, ok bool) sim.Status {
 	}
 }
 
+// arrive is the class-level admission door: every arrival is counted,
+// and when the bounded admission queue is full the arrival is rejected
+// here — before any query state, RNG draws beyond the arrival clock, or
+// process frames are built — so overload sheds load at O(1) per
+// rejected client request.
+func (s *System) arrive(ci int) {
+	s.met.arrived++
+	if s.cfg.AdmitQueue > 0 && s.ctrl.waiting >= s.cfg.AdmitQueue {
+		s.met.recordRejection(ci)
+		return
+	}
+	s.launch(s.gen.NewQuery(ci, s.k.Now()))
+}
+
 // launch starts a query process and arms its firm-deadline abort.
 func (s *System) launch(q *query.Query) {
-	s.met.arrived++
 	f := sim.AllocFrom[queryFrame](s.k.Arena())
 	f.s, f.q = s, q
 	f.e = query.Exec{Env: s.env, Q: q}
@@ -296,6 +352,8 @@ func (s *System) results() *Results {
 		Terminated:          m.terminated,
 		Completed:           m.completed,
 		Missed:              m.missed,
+		Rejected:            m.rejected,
+		AvgQueueDelay:       m.queueDelay.Mean(),
 		AvgWait:             m.wait.Mean(),
 		AvgExec:             m.exec.Mean(),
 		AvgResponse:         m.resp.Mean(),
@@ -310,6 +368,9 @@ func (s *System) results() *Results {
 	if m.terminated > 0 {
 		r.MissRatio = float64(m.missed) / float64(m.terminated)
 	}
+	if m.arrived > 0 {
+		r.LossRatio = float64(m.rejected) / float64(m.arrived)
+	}
 	r.MissRatioHW90 = missCI(m.events)
 	elapsed := s.k.Now()
 	if elapsed > 0 {
@@ -319,7 +380,10 @@ func (s *System) results() *Results {
 		r.MaxDiskUtil = s.disks.MaxUtilization(0, zero)
 	}
 	for ci, cl := range s.cfg.Classes {
-		cr := ClassResult{Name: cl.Name, Terminated: m.classTerm[ci], Missed: m.classMissed[ci]}
+		cr := ClassResult{
+			Name: cl.Name, Terminated: m.classTerm[ci],
+			Missed: m.classMissed[ci], Rejected: m.classRejected[ci],
+		}
 		if cr.Terminated > 0 {
 			cr.MissRatio = float64(cr.Missed) / float64(cr.Terminated)
 		}

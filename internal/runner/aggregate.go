@@ -46,6 +46,8 @@ type Summary struct {
 	Confidence float64 `json:"confidence"`
 
 	MissRatio          Stat `json:"missRatio"`
+	LossRatio          Stat `json:"lossRatio"`
+	AvgQueueDelay      Stat `json:"avgQueueDelay"`
 	AvgWait            Stat `json:"avgWait"`
 	AvgExec            Stat `json:"avgExec"`
 	AvgResponse        Stat `json:"avgResponse"`
@@ -79,6 +81,8 @@ func Summarize(runs []*rtdbs.Results, confidence float64) Summary {
 		return statOf(obs, confidence)
 	}
 	sum.MissRatio = collect(func(r *rtdbs.Results) float64 { return r.MissRatio })
+	sum.LossRatio = collect(func(r *rtdbs.Results) float64 { return r.LossRatio })
+	sum.AvgQueueDelay = collect(func(r *rtdbs.Results) float64 { return r.AvgQueueDelay })
 	sum.AvgWait = collect(func(r *rtdbs.Results) float64 { return r.AvgWait })
 	sum.AvgExec = collect(func(r *rtdbs.Results) float64 { return r.AvgExec })
 	sum.AvgResponse = collect(func(r *rtdbs.Results) float64 { return r.AvgResponse })

@@ -10,7 +10,7 @@ import (
 	"pmm/internal/sim"
 )
 
-func newGen(t *testing.T, classes []ClassSpec) *Generator {
+func newGen(t testing.TB, classes []ClassSpec) *Generator {
 	t.Helper()
 	k := sim.NewKernel()
 	dp := disk.DefaultParams()

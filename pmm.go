@@ -55,8 +55,13 @@ type (
 	TermEvent = rtdbs.TermEvent
 	// GroupSpec describes a relation group of the database (§4.1).
 	GroupSpec = catalog.GroupSpec
-	// ClassSpec describes a workload class (§4.1).
+	// ClassSpec describes a workload class (§4.1), optionally scaled to
+	// a count-batched client population with a time-varying rate.
 	ClassSpec = workload.ClassSpec
+	// Modulation shapes a class's time-varying aggregate arrival rate.
+	Modulation = workload.Modulation
+	// ModKind enumerates the rate-modulation shapes.
+	ModKind = workload.ModKind
 	// QueryType distinguishes hash joins from external sorts.
 	QueryType = query.Type
 	// DiskParams is the physical disk configuration (Table 3).
@@ -136,6 +141,16 @@ const (
 	HashJoin = query.HashJoin
 	// ExternalSort queries sort a single relation.
 	ExternalSort = query.ExternalSort
+)
+
+// Arrival-rate modulation kinds (ClassSpec.Modulation.Kind).
+const (
+	// ModNone is a fixed (homogeneous Poisson) aggregate rate.
+	ModNone = workload.ModNone
+	// ModDiurnal is a sinusoidal rate sampled exactly by thinning.
+	ModDiurnal = workload.ModDiurnal
+	// ModBursty is a two-phase MMPP (normal/burst sojourns).
+	ModBursty = workload.ModBursty
 )
 
 // New assembles a simulator for cfg without running it.

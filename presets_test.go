@@ -19,6 +19,10 @@ func allPresets() map[string]pmm.Config {
 		"scaled-1":   pmm.ScaledConfig(1),
 		"scaled-2":   pmm.ScaledConfig(2),
 		"scaled-4":   pmm.ScaledConfig(4),
+		// Count-batched client populations: the default 100k and the
+		// full million — same aggregate load, so both run at preset cost.
+		"overload":    pmm.OverloadConfig(0),
+		"overload-1m": pmm.OverloadConfig(1_000_000),
 	}
 }
 
