@@ -9,6 +9,8 @@
 //	paperrepro -json      # machine-readable report documents
 //	paperrepro -cache ~/.pmm-results   # warm reruns skip simulation
 //	paperrepro -precision 0.05 -max-reps 64  # adaptive replication
+//	paperrepro -progress  # live per-point progress + ETA on stderr
+//	paperrepro -trace baseline.json    # Perfetto trace of a baseline run
 //
 // Every figure grid runs through the shared replicated-sweep engine
 // (pmm.Sweep): -reps replicates each point at deterministically derived
@@ -58,6 +60,8 @@ func main() {
 		tenants = flag.Int("tenants", 0, "add the multi-tenant partitioned report with this many broker-coupled baseline cells (report id: tenants)")
 		shards  = flag.Int("shards", 0, "worker threads for partitioned runs (results identical for any value)")
 		clients = flag.Int("clients", 0, "client population of the open-system overload report (0 = 100000; count-batched — report id: overload)")
+		trOut   = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of a short baseline PMM run at -seed to this file")
+		prog    = flag.Bool("progress", false, "stream live per-point sweep progress with an ETA to stderr")
 	)
 	flag.Parse()
 	stopProfile, err := prof.StartCPU(*profile)
@@ -94,6 +98,9 @@ func main() {
 		Precision: *prec, MaxReps: *maxReps,
 		Tenants: *tenants, Shards: *shards, Clients: *clients,
 	}
+	if *prog {
+		opts.Progress = pmm.NewSweepProgress(os.Stderr)
+	}
 	if *cache != "" {
 		store, err := pmm.OpenResultStore(*cache)
 		if err != nil {
@@ -101,6 +108,12 @@ func main() {
 		}
 		defer store.Close()
 		opts.Store = store
+	}
+
+	if *trOut != "" {
+		if err := writeBaselineTrace(*trOut, *seed); err != nil {
+			fail(err)
+		}
 	}
 
 	start := time.Now()
@@ -143,4 +156,30 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// writeBaselineTrace runs 30 simulated minutes of the §5 baseline
+// workload under PMM with the trace layer attached and writes the
+// Chrome trace-event JSON — a Perfetto-loadable view of the simulated
+// system behind the figures (query spans, queue depth, pool occupancy,
+// CPU/disk timelines). Kept short deliberately: full-horizon kernel
+// traces run to gigabytes.
+func writeBaselineTrace(path string, seed int64) error {
+	cfg := pmm.BaselineConfig()
+	cfg.Policy = pmm.PolicyConfig{Kind: pmm.PolicyPMM}
+	cfg.Seed = seed
+	cfg.Duration = 1800
+	_, tr, err := pmm.RunTraced(cfg, pmm.TraceWindow{})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

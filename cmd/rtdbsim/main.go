@@ -21,13 +21,23 @@
 // fixed -reps is replaced by adaptive replication: replicates run in
 // rounds until the miss-ratio CI half-width falls within P of the mean
 // (-reps then sets the first round, -max-reps the cap).
+//
+// With -trace FILE the run additionally emits a Chrome trace-event JSON
+// of replicate 0 — query lifecycle spans, admission-queue depth, pool
+// occupancy, CPU/disk utilization and broker-quota timelines in
+// simulated time — loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing; -trace-csv FILE dumps the raw timeline samples,
+// -trace-window a:b bounds kernel-level event recording, and -progress
+// streams live per-replicate completion lines with an ETA to stderr.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"pmm"
@@ -45,7 +55,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed (replicate 0; further replicates derive from it)")
 		disks   = flag.Int("disks", 0, "number of disks (0 = preset default)")
 		memory  = flag.Int("memory", 0, "buffer pool pages M (0 = preset default)")
-		trace   = flag.Bool("trace", false, "print the PMM decision trace (replicate 0)")
+		pmmTr   = flag.Bool("pmm-trace", false, "print the PMM decision trace (replicate 0)")
 		reps    = flag.Int("reps", 1, "replicates with derived seeds; > 1 reports mean ± CI (first round size with -precision)")
 		workers = flag.Int("workers", 0, "max parallel simulations (0 = GOMAXPROCS)")
 		asJSON  = flag.Bool("json", false, "emit a JSON document with per-replicate and aggregated results")
@@ -61,6 +71,10 @@ func main() {
 		stretch = flag.Int("stretch", 0, "adaptive broker lookahead: widen the barrier up to this many epochs while no cell changes demand class (0/1 = fixed; multi-tenant only)")
 		clients = flag.Int("clients", 0, "simulated client population of the overload preset (0 = 100000; count-batched, any N costs one timer per class)")
 		admit   = flag.Int("admit", -1, "admission-queue bound: arrivals beyond this many waiting queries are rejected (-1 = preset default, 0 = unbounded)")
+		trOut   = flag.String("trace", "", "write a Chrome trace-event JSON of replicate 0 to this file (load in Perfetto / chrome://tracing)")
+		trCSV   = flag.String("trace-csv", "", "write the replicate-0 timeline samples as CSV to this file")
+		trWin   = flag.String("trace-window", "", "record kernel-level events only inside this simulated-time window, as seconds a:b (timelines and spans are always full-run)")
+		prog    = flag.Bool("progress", false, "stream live per-replicate progress with an ETA to stderr")
 	)
 	flag.Parse()
 	stopProfile, err := prof.StartCPU(*profile)
@@ -149,6 +163,11 @@ func main() {
 	}
 
 	spec := pmm.SweepSpec{Base: cfg, Reps: *reps, Workers: *workers, Confidence: *conf}
+	var progress *pmm.SweepProgress
+	if *prog {
+		progress = pmm.NewSweepProgress(os.Stderr)
+		spec.Progress = progress
+	}
 	var store *pmm.ResultStore
 	if *cache != "" {
 		var err error
@@ -169,6 +188,13 @@ func main() {
 	runs, agg := points[0].Reps, points[0].Agg
 	res := runs[0]
 	tel := telemetry(points[0], store, *prec, *maxReps)
+	tel.Sweep = progress.Trace()
+
+	if *trOut != "" || *trCSV != "" {
+		if err := writeTrace(cfg, *trOut, *trCSV, *trWin); err != nil {
+			fail(err)
+		}
+	}
 
 	if *asJSON {
 		emitJSON(cfg, *preset, *seed, runs, agg, tel)
@@ -180,7 +206,7 @@ func main() {
 	if len(runs) > 1 {
 		printAggregate(cfg, runs, agg)
 		printTelemetry(tel)
-		printTrace(*trace, res)
+		printTrace(*pmmTr, res)
 		return
 	}
 	fmt.Printf("arrived           %d\n", res.Arrived)
@@ -207,7 +233,65 @@ func main() {
 	fmt.Printf("I/O amplification %.2f (pages: %d read, %d spooled out, %d spooled in)\n",
 		res.AvgIOAmplification, res.IOBreakdown.RelRead, res.IOBreakdown.SpoolWrite, res.IOBreakdown.SpoolRead)
 	printTelemetry(tel)
-	printTrace(*trace, res)
+	printTrace(*pmmTr, res)
+}
+
+// writeTrace reruns replicate 0's exact configuration with the trace
+// layer attached — the run is bit-identical to the untraced one, so the
+// exported timelines describe exactly the replicate the report covers —
+// and writes the requested Chrome JSON and/or CSV files.
+func writeTrace(cfg pmm.Config, jsonPath, csvPath, window string) error {
+	win, err := parseWindow(window)
+	if err != nil {
+		return err
+	}
+	_, tr, err := pmm.RunTraced(cfg, win)
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		if err := writeTo(jsonPath, tr.WriteChrome); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" {
+		if err := writeTo(csvPath, tr.WriteCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTo creates path and streams emit into it.
+func writeTo(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseWindow parses a -trace-window "a:b" pair of simulated seconds;
+// "" leaves kernel-event recording unbounded.
+func parseWindow(s string) (pmm.TraceWindow, error) {
+	if s == "" {
+		return pmm.TraceWindow{}, nil
+	}
+	a, b, ok := strings.Cut(s, ":")
+	var lo, hi float64
+	var err1, err2 error
+	if ok {
+		lo, err1 = strconv.ParseFloat(a, 64)
+		hi, err2 = strconv.ParseFloat(b, 64)
+	}
+	if !ok || err1 != nil || err2 != nil || hi <= lo {
+		return pmm.TraceWindow{}, fmt.Errorf("bad -trace-window %q: want simulated seconds a:b with b > a", s)
+	}
+	return pmm.TraceWindow{A: lo, B: hi}, nil
 }
 
 // cacheTelemetry reports how the result store served this run.
@@ -229,10 +313,12 @@ type stopTelemetry struct {
 	RepsUsed  int     `json:"repsUsed"`
 }
 
-// runTelemetry combines both for output.
+// runTelemetry combines both for output, plus the sweep-execution
+// trace when -progress was active.
 type runTelemetry struct {
 	Cache    *cacheTelemetry `json:"cache,omitempty"`
 	Stopping *stopTelemetry  `json:"stopping,omitempty"`
+	Sweep    *pmm.SweepTrace `json:"sweep,omitempty"`
 }
 
 // telemetry assembles cache and stopping telemetry for the run.
@@ -260,6 +346,10 @@ func printTelemetry(tel runTelemetry) {
 	if s := tel.Stopping; s != nil {
 		fmt.Printf("replicates used   %d of max %d (target %.1f%% relative half-width)\n",
 			s.RepsUsed, s.MaxReps, 100*s.Precision)
+	}
+	if t := tel.Sweep; t != nil {
+		fmt.Printf("sweep execution   %d replicates in %d round(s), %.2f s simulating, %d served from cache\n",
+			t.TotalReps, t.Rounds, t.WallSeconds, t.CacheHits)
 	}
 }
 
@@ -336,17 +426,19 @@ func emitJSON(cfg pmm.Config, preset string, seed int64, runs []*pmm.Results, ag
 		Reps       int             `json:"reps"`
 		Cache      *cacheTelemetry `json:"cache,omitempty"`
 		Stopping   *stopTelemetry  `json:"stopping,omitempty"`
+		SweepTrace *pmm.SweepTrace `json:"sweepTrace,omitempty"`
 		Aggregate  pmm.Summary     `json:"aggregate"`
 		Replicates []replicateJSON `json:"replicates"`
 	}{
-		Preset:    preset,
-		Policy:    runs[0].Policy,
-		Duration:  runs[0].Duration,
-		Seed:      seed,
-		Reps:      len(runs),
-		Cache:     tel.Cache,
-		Stopping:  tel.Stopping,
-		Aggregate: agg,
+		Preset:     preset,
+		Policy:     runs[0].Policy,
+		Duration:   runs[0].Duration,
+		Seed:       seed,
+		Reps:       len(runs),
+		Cache:      tel.Cache,
+		Stopping:   tel.Stopping,
+		SweepTrace: tel.Sweep,
+		Aggregate:  agg,
 	}
 	for i, r := range runs {
 		doc.Replicates = append(doc.Replicates, replicateJSON{

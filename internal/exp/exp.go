@@ -53,6 +53,10 @@ type Options struct {
 	// Shards is the worker-thread count for partitioned runs. Purely an
 	// execution knob — reported results are identical for every value.
 	Shards int
+	// Progress, when non-nil, receives live per-job telemetry from every
+	// sweep (all figures share its ETA denominator and its accumulated
+	// SweepTrace). Pure observability — results are unchanged.
+	Progress *pmm.SweepProgress
 }
 
 // horizon returns the simulated duration to use.
@@ -79,11 +83,12 @@ func (o Options) sweep(base pmm.Config, axes ...pmm.Axis) ([]pmm.PointResult, er
 func (o Options) sweepPaired(base pmm.Config, pair *pmm.PairedTarget, axes ...pmm.Axis) ([]pmm.PointResult, error) {
 	base.Seed = o.Seed
 	spec := pmm.SweepSpec{
-		Base:    base,
-		Axes:    axes,
-		Reps:    o.Reps,
-		Workers: o.Workers,
-		Cache:   o.Store,
+		Base:     base,
+		Axes:     axes,
+		Reps:     o.Reps,
+		Workers:  o.Workers,
+		Cache:    o.Store,
+		Progress: o.Progress,
 	}
 	if o.Precision > 0 {
 		spec.Stop = &pmm.StopRule{

@@ -26,6 +26,7 @@ import (
 	"pmm/internal/cpu"
 	"pmm/internal/disk"
 	"pmm/internal/sim"
+	"pmm/internal/trace"
 )
 
 // Type distinguishes the two operator kinds the paper evaluates.
@@ -103,6 +104,11 @@ type Env struct {
 	// IOBreakdown tallies pages moved by category across all queries.
 	IOBreakdown IOStats
 
+	// Trace, when non-nil, receives one instant on IOTrack per disk
+	// request any query issues (rtdbs.SetTrace wires both).
+	Trace   *trace.Collector
+	IOTrack trace.TrackID
+
 	// PaceFactor > 0 enables deadline-driven pacing (see CallPace):
 	// a query at its bare minimum allocation defers work until its
 	// remaining time falls below PaceFactor × (two-pass estimate).
@@ -145,6 +151,14 @@ type Exec struct {
 
 // Alloc returns the query's current memory grant in pages.
 func (e *Exec) Alloc() int { return e.Q.Alloc }
+
+// traceIO records one per-operator disk request on the environment's IO
+// track (the running per-query count rides in Val); a no-op untraced.
+func (e *Exec) traceIO() {
+	if e.Trace != nil {
+		e.Trace.AddInstant(e.IOTrack, trace.InstIO, e.Q.ID, e.K.Now(), float64(e.Q.IOCount))
+	}
+}
 
 // StartCPU enters a CPU burst of the given instruction count at the
 // query's ED priority, without blocking. entered=true means the frame
@@ -342,6 +356,7 @@ func (f *readRelFrame) Step(m *sim.Machine, ok bool) sim.Status {
 				return m.Return(false)
 			}
 			e.Q.IOCount++
+			e.traceIO()
 			e.IOBreakdown.RelRead += int64(f.step)
 			ext := f.rel.Extent()
 			f.PC = 3
@@ -445,6 +460,7 @@ func (f *appendFrame) Step(m *sim.Machine, ok bool) sim.Status {
 				return m.Return(false)
 			}
 			e.Q.IOCount++
+			e.traceIO()
 			e.IOBreakdown.SpoolWrite += int64(f.u)
 			// Appends are sequential by construction: write-behind streams them.
 			f.PC = 3
@@ -516,6 +532,7 @@ func (f *readTempFrame) Step(m *sim.Machine, ok bool) sim.Status {
 				return m.Return(false)
 			}
 			e.Q.IOCount++
+			e.traceIO()
 			e.IOBreakdown.SpoolRead += int64(f.u)
 			d := t.ext.Disk()
 			f.PC = 3

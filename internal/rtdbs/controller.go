@@ -6,6 +6,7 @@ import (
 	"pmm/internal/policy"
 	"pmm/internal/query"
 	"pmm/internal/sim"
+	"pmm/internal/trace"
 )
 
 // terminationObserver is implemented by adaptive allocators (PMM) that
@@ -33,10 +34,26 @@ func newController(s *System, alloc policy.Allocator) *controller {
 	return &controller{s: s, alloc: alloc, mplMeter: sim.NewTimeWeighted(s.k)}
 }
 
+// sampleQueue mirrors the admission-queue depth onto its trace
+// timeline; a no-op on untraced systems.
+func (c *controller) sampleQueue() {
+	if tr := c.s.tr; tr != nil {
+		tr.queue.Sample(c.s.k.Now(), float64(c.waiting))
+	}
+}
+
+// samplePool mirrors the reserved-page total onto its trace timeline.
+func (c *controller) samplePool() {
+	if tr := c.s.tr; tr != nil {
+		tr.pool.Sample(c.s.k.Now(), float64(c.s.pool.Reserved()))
+	}
+}
+
 // Arrive registers a new query and replans.
 func (c *controller) Arrive(q *query.Query) {
 	c.present = append(c.present, q)
 	c.waiting++
+	c.sampleQueue()
 	c.replan()
 }
 
@@ -53,10 +70,15 @@ func (c *controller) Depart(q *query.Query, completed bool) {
 		q.Alloc = 0
 		c.s.pool.Release(q.ID)
 		c.mplMeter.Add(-1)
+		c.samplePool()
 	} else {
 		c.waiting--
+		c.sampleQueue()
 	}
 	c.s.met.recordTermination(q, completed)
+	if tr := c.s.tr; tr != nil {
+		tr.queryEnd(q, completed)
+	}
 	if obs, ok := c.alloc.(terminationObserver); ok {
 		obs.OnTermination(q, completed)
 	}
@@ -97,6 +119,7 @@ func (c *controller) apply(q *query.Query, n int) {
 	}
 	q.Alloc = n
 	c.s.pool.SetReservation(q.ID, n)
+	c.samplePool()
 	switch {
 	case old == 0 && n > 0:
 		if !q.Admitted {
@@ -106,12 +129,20 @@ func (c *controller) apply(q *query.Query, n int) {
 		}
 		c.mplMeter.Add(1)
 		c.waiting--
+		c.sampleQueue()
 	case old > 0 && n == 0:
 		c.mplMeter.Add(-1)
 		c.waiting++
+		c.sampleQueue()
+	}
+	if tr := c.s.tr; tr != nil {
+		tr.c.AddInstant(tr.grants, trace.InstGrant, q.ID, c.s.k.Now(), float64(n))
 	}
 	if q.EverGranted {
 		q.Fluctuations++
+		if tr := c.s.tr; tr != nil {
+			tr.c.AddInstant(tr.grants, trace.InstFluctuation, q.ID, c.s.k.Now(), float64(q.Fluctuations))
+		}
 	}
 	if n > 0 {
 		q.EverGranted = true

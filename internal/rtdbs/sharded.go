@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"pmm/internal/sim"
+	"pmm/internal/trace"
 	"pmm/internal/workload"
 )
 
@@ -163,6 +164,16 @@ func (r *shardedRun) exchange(now float64) {
 	}
 	sim.SortMessages(r.msgs)
 	r.rebalance(r.msgs)
+	// Traced cells record their post-exchange quota — one counter sample
+	// plus one exchange instant per cell per barrier. The barrier runs
+	// single-threaded with every cell parked on `now`, so writing to the
+	// cells' collectors here is race-free.
+	for i, m := range r.msgs {
+		if tr := r.cells[m.Shard].sys.tr; tr != nil {
+			tr.quota.Sample(now, float64(r.quotas[i]))
+			tr.c.AddInstant(tr.exchT, trace.InstExchange, int64(r.epochs), now, float64(r.quotas[i]))
+		}
+	}
 	// Replan every cell at every epoch, in cell order: cells whose
 	// quota grew admit waiting queries now, cells whose quota shrank
 	// converge as queries depart. The wakes this schedules fire at the

@@ -14,6 +14,7 @@ import (
 	"pmm/internal/policy"
 	"pmm/internal/query"
 	"pmm/internal/sim"
+	"pmm/internal/trace"
 	"pmm/internal/workload"
 )
 
@@ -30,6 +31,13 @@ type System struct {
 	ctrl  *controller
 	met   *Metrics
 	pmm   *core.PMM // nil unless PolicyPMM
+	tr    *sysTrace // nil unless SetTrace attached a collector
+
+	// srcs holds the aggregated arrival source of each batched class
+	// (nil entries for classic Poisson classes) — the same instances the
+	// source processes drive, reused for rate-envelope sampling because
+	// constructing a second source would replay its RNG side effects.
+	srcs []*workload.ArrivalSource
 
 	// Operator prototypes, built once per system: the per-query execution
 	// state lives in the Start-built frames, so the descriptors are
@@ -249,11 +257,13 @@ func (f *batchedSourceFrame) Step(m *sim.Machine, ok bool) sim.Status {
 // frame for simple fixed-rate classes (bit-identical to every pre-batch
 // release), the aggregated frame for population/modulated ones.
 func (s *System) startSources() {
+	s.srcs = make([]*workload.ArrivalSource, len(s.cfg.Classes))
 	for ci := range s.cfg.Classes {
 		name := fmt.Sprintf("source-%s", s.cfg.Classes[ci].Name)
 		if s.cfg.Classes[ci].Batched() {
 			f := sim.AllocFrom[batchedSourceFrame](s.k.Arena())
 			f.s, f.ci, f.src = s, ci, s.gen.Source(ci)
+			s.srcs[ci] = f.src
 			f.p = s.k.SpawnInline(name, f)
 			continue
 		}
@@ -310,8 +320,14 @@ func (f *queryFrame) Step(m *sim.Machine, ok bool) sim.Status {
 // rejected client request.
 func (s *System) arrive(ci int) {
 	s.met.arrived++
+	if tr := s.tr; tr != nil {
+		tr.rate.Sample(s.k.Now(), s.offeredRate(s.k.Now()))
+	}
 	if s.cfg.AdmitQueue > 0 && s.ctrl.waiting >= s.cfg.AdmitQueue {
 		s.met.recordRejection(ci)
+		if tr := s.tr; tr != nil {
+			tr.c.AddInstant(tr.rejects, trace.InstReject, int64(ci), s.k.Now(), 0)
+		}
 		return
 	}
 	s.launch(s.gen.NewQuery(ci, s.k.Now()))

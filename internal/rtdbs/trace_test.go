@@ -1,0 +1,135 @@
+package rtdbs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTracedRunIdentical is the trace layer's core guarantee: attaching
+// a collector is a pure observation — the traced run's Results
+// (aggregates, per-class stats, the full termination event stream, the
+// PMM decision trace) are byte-identical to the untraced run's, for
+// every policy family.
+func TestTracedRunIdentical(t *testing.T) {
+	for _, pol := range []PolicyConfig{
+		{Kind: PolicyMax},
+		{Kind: PolicyMinMax, MPLLimit: 8},
+		{Kind: PolicyProportional},
+		{Kind: PolicyPMM},
+	} {
+		cfg := baselineConfig(pol, 0.06, 900)
+		base, err := Simulate(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, tr, err := SimulateTraced(cfg, nil, TraceWindow{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("policy %d: traced results differ from untraced", pol.Kind)
+		}
+		if len(tr.Shards) != 1 {
+			t.Fatalf("policy %d: single-kernel run produced %d trace shards", pol.Kind, len(tr.Shards))
+		}
+		kernel, _, spans, _, samples := tr.Shards[0].Counts()
+		if kernel == 0 || spans == 0 || samples == 0 {
+			t.Errorf("policy %d: empty trace (kernel=%d spans=%d samples=%d)", pol.Kind, kernel, spans, samples)
+		}
+		if spans < base.Terminated {
+			t.Errorf("policy %d: %d lifecycle spans for %d terminations", pol.Kind, spans, base.Terminated)
+		}
+	}
+}
+
+// TestTracedWindowIdentical pins that a kernel-event window changes
+// only what is recorded, never the simulation: results stay identical
+// and the windowed trace holds strictly fewer kernel events.
+func TestTracedWindowIdentical(t *testing.T) {
+	cfg := baselineConfig(PolicyConfig{Kind: PolicyPMM}, 0.06, 900)
+	base, err := Simulate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, trFull, err := SimulateTraced(cfg, nil, TraceWindow{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, trWin, err := SimulateTraced(cfg, nil, TraceWindow{A: 100, B: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, base) || !reflect.DeepEqual(win, base) {
+		t.Error("windowed or full traced results differ from untraced")
+	}
+	kFull, _, _, _, _ := trFull.Shards[0].Counts()
+	kWin, _, _, _, _ := trWin.Shards[0].Counts()
+	if kWin == 0 || kWin >= kFull {
+		t.Errorf("window [100,200) of a 900 s run recorded %d kernel events (full run: %d)", kWin, kFull)
+	}
+	for _, e := range trWin.Shards[0].Kernel() {
+		if e.At < 100 || e.At >= 200 {
+			t.Fatalf("kernel event at t=%g outside window [100,200)", e.At)
+		}
+	}
+}
+
+// TestTracedShardedConformance extends the worker-count conformance
+// guarantee to traced runs: a multi-tenant configuration with per-cell
+// collectors attached produces the same ShardDigest and Results as the
+// untraced run, for shards 1, 2, and 4 — tracing perturbs neither the
+// cells nor the broker barrier.
+func TestTracedShardedConformance(t *testing.T) {
+	cfg := tenantConfig(PolicyConfig{Kind: PolicyPMM}, 3, 1, 600)
+	base, err := Simulate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ShardDigest == "" {
+		t.Fatal("multi-tenant run produced no shard digest")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		c := cfg
+		c.Shards = shards
+		got, tr, err := SimulateTraced(c, nil, TraceWindow{})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got.ShardDigest != base.ShardDigest {
+			t.Errorf("shards=%d: traced digest %s != untraced %s", shards, got.ShardDigest, base.ShardDigest)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("shards=%d: traced results differ from untraced", shards)
+		}
+		if len(tr.Shards) != cfg.Tenants {
+			t.Fatalf("shards=%d: %d collectors for %d tenants", shards, len(tr.Shards), cfg.Tenants)
+		}
+		for ci, col := range tr.Shards {
+			if col.Shard != int32(ci) {
+				t.Errorf("collector %d labeled shard %d", ci, col.Shard)
+			}
+			if _, _, spans, _, _ := col.Counts(); spans == 0 {
+				t.Errorf("shards=%d: cell %d recorded no query spans", shards, ci)
+			}
+		}
+	}
+}
+
+// TestTracedRerunByteIdentical pins export determinism: two traced
+// reruns of the same config yield collectors with identical record
+// streams (the Chrome/CSV writers then emit identical bytes — pinned
+// structurally here, and again at the writer level in package trace).
+func TestTracedRerunByteIdentical(t *testing.T) {
+	cfg := baselineConfig(PolicyConfig{Kind: PolicyPMM}, 0.06, 600)
+	_, tr1, err := SimulateTraced(cfg, nil, TraceWindow{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr2, err := SimulateTraced(cfg, nil, TraceWindow{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Error("two traced reruns of the same config produced different traces")
+	}
+}

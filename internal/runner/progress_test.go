@@ -1,0 +1,79 @@
+package runner
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestProgressObservesSweep checks Spec.Progress is a pure observer: a
+// sweep with one attached produces identical PointResults, streams one
+// line per job, and accumulates a SweepTrace matching the grid.
+func TestProgressObservesSweep(t *testing.T) {
+	base, err := Run(Spec{Base: tinyConfig(), Axes: tinyAxes(), Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	p := NewProgress(&out)
+	got, err := Run(Spec{Base: tinyConfig(), Axes: tinyAxes(), Reps: 2, Progress: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, base) {
+		t.Error("sweep with Progress attached produced different results")
+	}
+
+	const jobs = 4 * 2 // 2×2 grid × 2 replicates
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != jobs {
+		t.Errorf("streamed %d lines, want %d:\n%s", len(lines), jobs, out.String())
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "sweep ") {
+			t.Errorf("malformed progress line %q", l)
+		}
+	}
+
+	tr := p.Trace()
+	if tr.TotalReps != jobs || tr.Rounds != 1 {
+		t.Errorf("trace totals %d reps / %d rounds, want %d / 1", tr.TotalReps, tr.Rounds, jobs)
+	}
+	if len(tr.Points) != 4 {
+		t.Fatalf("trace has %d points, want 4", len(tr.Points))
+	}
+	for _, pt := range tr.Points {
+		if pt.Reps != 2 || pt.CacheMisses != 2 || pt.CacheHits != 0 {
+			t.Errorf("point %s trace %+v, want 2 simulated reps", pt.Key, pt)
+		}
+	}
+}
+
+// TestProgressNilSafe pins the nil-receiver contract the runner relies
+// on: every method of a nil *Progress is a no-op.
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.beginRound(3)
+	p.jobDone("k", 0, false, 0)
+	if tr := p.Trace(); tr != nil {
+		t.Errorf("nil Progress returned trace %+v", tr)
+	}
+}
+
+// TestProgressEvery checks the Every throttle streams only every Nth
+// completion plus the final job.
+func TestProgressEvery(t *testing.T) {
+	var out bytes.Buffer
+	p := NewProgress(&out)
+	p.Every = 3
+	p.beginRound(7)
+	for i := 0; i < 7; i++ {
+		p.jobDone("k", i, false, 0)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 3 { // jobs 3, 6, and the final 7th
+		t.Errorf("Every=3 over 7 jobs streamed %d lines:\n%s", len(lines), out.String())
+	}
+}

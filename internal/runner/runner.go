@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"pmm/internal/catalog"
 	"pmm/internal/resultstore"
@@ -91,6 +92,11 @@ type Spec struct {
 	// results — and adaptive stopping decisions — are unchanged by the
 	// cache's state.
 	Cache *resultstore.Store
+	// Progress, when non-nil, receives live per-job telemetry: one
+	// streamed line per completed (point, replicate) with an ETA, and
+	// an accumulated SweepTrace (Progress.Trace). Pure observability —
+	// results are identical with or without it.
+	Progress *Progress
 
 	// simulate runs one configured simulation, allocating from the
 	// worker's arena (reset between jobs; may be nil); tests inject
@@ -260,6 +266,7 @@ func runJobs(s Spec, results []PointResult, jobs []job) error {
 		}
 	}
 	hits := make([]bool, len(jobs))
+	s.Progress.beginRound(len(jobs))
 
 	ch := make(chan int)
 	var wg sync.WaitGroup
@@ -294,9 +301,11 @@ func runJobs(s Spec, results []PointResult, jobs []job) error {
 					if res, ok := s.Cache.Get(key); ok {
 						results[j.point].Reps[j.rep] = res
 						hits[ji] = true
+						s.Progress.jobDone(results[j.point].Point.Key, j.rep, true, 0)
 						continue
 					}
 				}
+				t0 := time.Now()
 				res, err := s.simulate(cfg, arena)
 				// Results hold no arena memory (they are rebuilt values),
 				// so the arena recycles immediately — including after an
@@ -316,6 +325,7 @@ func runJobs(s Spec, results []PointResult, jobs []job) error {
 					_ = s.Cache.Put(key, res)
 				}
 				results[j.point].Reps[j.rep] = res
+				s.Progress.jobDone(results[j.point].Point.Key, j.rep, false, time.Since(t0))
 			}
 		}()
 	}

@@ -70,4 +70,24 @@
 // rtdbs layer builds on this to run multi-tenant configurations as one
 // cell per partition, coupled only through the global memory broker at
 // window barriers.
+//
+// # Trace sinks
+//
+// Kernel.SetSink attaches a trace.Sink that observes every dispatched
+// event (with its time, sequence number, typed kind, and payload),
+// every successful timer cancel, and every gate-queue transition
+// (enqueue, release, service entry, interrupt removal), plus the spawn
+// name of each registered task.  The sink contract is strict: a sink is
+// a pure observer of the (time, seq) stream and must not schedule
+// events, spawn processes, draw random numbers, or mutate any simulated
+// state — under that contract, attaching a sink cannot change the
+// simulation, and runs are bit-for-bit identical with tracing on or
+// off (pinned by the golden-digest trace tests).  All hooks are
+// nil-checked single branches; with no sink attached the kernel's hot
+// paths remain allocation-free (CI-guarded), and with a
+// trace.Collector attached, recording appends fixed-size structs to
+// warm slices, so steady-state tracing is allocation-free too.
+// BusyMeter.Trace and TimeWeighted.Trace optionally mirror meter
+// transitions onto counter timelines under the same pure-observer
+// rules.
 package sim

@@ -129,10 +129,15 @@ func (g *Gate) MinPrio() (float64, bool) {
 	return w.Prio, true
 }
 
-// remove unlinks w from the queue, preserving order.
+// remove unlinks w from the queue, preserving order. Every dequeue —
+// release, service entry, interrupt removal — funnels here, so it is
+// also where a trace sink observes the wait ending.
 func (g *Gate) remove(w *Waiting) {
 	if w.removed {
 		return
+	}
+	if s := g.k.sink; s != nil {
+		s.WaitEnd(g.k.now, g.name, w.task.tid)
 	}
 	if w.prev != nil {
 		w.prev.next = w.next
@@ -170,6 +175,9 @@ func (g *Gate) enqueue(c *taskCore, prio float64, data any, val float64) {
 	g.tail = w
 	g.n++
 	c.cancel = cancelGate
+	if s := g.k.sink; s != nil {
+		s.WaitBegin(g.k.now, g.name, c.tid, prio)
+	}
 }
 
 // wait queues the calling process and parks until released.

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+
+	"pmm/internal/trace"
 )
 
 // The kernel's scheduling core is allocation-free in steady state:
@@ -74,6 +76,17 @@ const (
 	evComplete
 	evCompleteQ
 )
+
+// The trace package names kernel event kinds by value; keep the two
+// enumerations aligned so Sink.Dispatch can pass kinds through raw (a
+// mismatch makes an index below non-zero and fails compilation).
+var _ = [1]struct{}{}[trace.KindClosure^evClosure]
+var _ = [1]struct{}{}[trace.KindTurn^evTurn]
+var _ = [1]struct{}{}[trace.KindWake^evWake]
+var _ = [1]struct{}{}[trace.KindParkWake^evParkWake]
+var _ = [1]struct{}{}[trace.KindInterrupt^evInterrupt]
+var _ = [1]struct{}{}[trace.KindComplete^evComplete]
+var _ = [1]struct{}{}[trace.KindCompleteQ^evCompleteQ]
 
 // Completer is a resource whose service completions the kernel delivers
 // as typed events: Complete ends the service armed by AtComplete, with
@@ -150,6 +163,9 @@ func (k *Kernel) stopEvent(id int32, seq uint64) bool {
 		k.cancel(id, s)
 	}
 	k.freeSlot(id, s)
+	if k.sink != nil {
+		k.sink.Cancel(k.now, seq)
+	}
 	return true
 }
 
@@ -197,6 +213,11 @@ type Kernel struct {
 	tasks []*taskCore
 	comps []Completer
 
+	// sink, when non-nil, observes every dispatched event, timer
+	// cancel, and gate transition (see SetSink). Cold: checked, never
+	// written, on the hot paths.
+	sink trace.Sink
+
 	arena   *Arena // frame arena the kernel allocates processes from (may be nil)
 	farDead int    // cancelled entries still inside far
 	procs   int    // live processes, for leak detection in tests
@@ -243,11 +264,33 @@ func NewKernelIn(a *Arena) *Kernel {
 // a plain heap-allocating kernel.
 func (k *Kernel) Arena() *Arena { return k.arena }
 
+// SetSink attaches a trace sink observing every dispatched event, every
+// successful timer cancel, and every gate-queue transition, or detaches
+// it when s is nil. The sink is a pure observer of the (time, seq)
+// stream: it must not schedule events or otherwise feed back into the
+// simulation, so runs are bit-identical with and without one (the
+// Sink-contract note in doc.go spells out the rules). Attach before
+// spawning processes so the sink sees every task's spawn name.
+func (k *Kernel) SetSink(s trace.Sink) {
+	k.sink = s
+	if s != nil {
+		for _, c := range k.tasks {
+			s.TaskName(c.tid, c.name)
+		}
+	}
+}
+
+// Sink returns the attached trace sink, or nil.
+func (k *Kernel) Sink() trace.Sink { return k.sink }
+
 // registerTask assigns a task its kernel-local id, the payload typed
 // events carry instead of a pointer.
 func (k *Kernel) registerTask(c *taskCore) {
 	c.tid = int32(len(k.tasks))
 	k.tasks = append(k.tasks, c)
+	if k.sink != nil {
+		k.sink.TaskName(c.tid, c.name)
+	}
 }
 
 // RegisterCompleter registers a resource for typed completion events and
@@ -622,6 +665,9 @@ func (k *Kernel) Step() bool {
 		}
 		if l.kind == evTurn {
 			k.steps++
+			if k.sink != nil {
+				k.sink.Dispatch(k.now, l.seq, evTurn, l.id)
+			}
 			c := k.tasks[l.id]
 			if p := c.inline; p != nil {
 				p.runTurn()
@@ -638,6 +684,9 @@ fire:
 	// registry entries; only evClosure pays an indirect call.
 	s := &k.slots[id]
 	karg, fn := s.karg, s.fn
+	if k.sink != nil {
+		k.sink.Dispatch(k.now, s.seq, uint8(karg&7), karg>>3)
+	}
 	k.freeSlot(id, s)
 	k.steps++
 	switch arg := karg >> 3; uint8(karg & 7) {

@@ -1,5 +1,7 @@
 package sim
 
+import "pmm/internal/trace"
+
 // BusyMeter accumulates the busy time of a resource so that utilization
 // can be computed over the whole run or over measurement windows (PMM
 // samples utilization per batch of query completions).
@@ -8,12 +10,18 @@ type BusyMeter struct {
 	busy      bool
 	busySince float64
 	total     float64
+	tr        *trace.Counter // optional 0/1 busy timeline (see Trace)
 }
 
 // NewBusyMeter returns an idle meter on kernel k.
 func NewBusyMeter(k *Kernel) *BusyMeter {
 	return &BusyMeter{k: k}
 }
+
+// Trace attaches a counter track that receives a 0/1 sample at every
+// busy/idle transition (nil detaches). Transitions are the meter's own
+// state changes, so sampling adds no events and cannot perturb the run.
+func (m *BusyMeter) Trace(tr *trace.Counter) { m.tr = tr }
 
 // SetBusy records a busy/idle transition at the current time.
 // Redundant transitions are no-ops.
@@ -27,6 +35,13 @@ func (m *BusyMeter) SetBusy(busy bool) {
 		m.busySince = m.k.now
 	}
 	m.busy = busy
+	if m.tr != nil {
+		v := 0.0
+		if busy {
+			v = 1
+		}
+		m.tr.Sample(m.k.now, v)
+	}
 }
 
 // Busy reports whether the resource is currently busy.
@@ -59,6 +74,7 @@ type TimeWeighted struct {
 	since   float64
 	area    float64
 	started float64
+	tr      *trace.Counter // optional level timeline (see Trace)
 }
 
 // NewTimeWeighted returns a tracker starting at level 0.
@@ -66,11 +82,19 @@ func NewTimeWeighted(k *Kernel) *TimeWeighted {
 	return &TimeWeighted{k: k, since: k.now, started: k.now}
 }
 
+// Trace attaches a counter track that receives the new level at every
+// Set/Add (nil detaches). Level changes are the tracker's own state
+// transitions, so sampling adds no events and cannot perturb the run.
+func (t *TimeWeighted) Trace(tr *trace.Counter) { t.tr = tr }
+
 // Set records a level change at the current time.
 func (t *TimeWeighted) Set(level float64) {
 	t.area += t.level * (t.k.now - t.since)
 	t.since = t.k.now
 	t.level = level
+	if t.tr != nil {
+		t.tr.Sample(t.k.now, level)
+	}
 }
 
 // Add shifts the level by delta at the current time.

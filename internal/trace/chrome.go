@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event export. The output is the JSON-object form of the
+// trace-event format ({"traceEvents": [...]}) using only "M" metadata,
+// "X" complete-span, "C" counter, and "i" instant phases, which loads
+// directly into Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Timestamps are *simulated* time: ts/dur are in microseconds of
+// simulation clock, so one Perfetto timeline second is one simulated
+// second. Each shard becomes one process (pid = shard), each track one
+// named thread, so sharded runs render as side-by-side process groups.
+
+// Reserved tid for the raw kernel event stream within each shard.
+const kernelTID = 0
+
+// chromeWriter emits trace events with no per-event allocations beyond
+// the buffered writer. All numeric formatting goes through strconv.
+type chromeWriter struct {
+	w     *bufio.Writer
+	buf   []byte
+	first bool
+	err   error
+}
+
+func (cw *chromeWriter) event(open string) {
+	if cw.err != nil {
+		return
+	}
+	if !cw.first {
+		if _, err := cw.w.WriteString(",\n"); err != nil {
+			cw.err = err
+			return
+		}
+	}
+	cw.first = false
+	_, cw.err = cw.w.WriteString(open)
+}
+
+func (cw *chromeWriter) str(s string) {
+	if cw.err != nil {
+		return
+	}
+	cw.buf = strconv.AppendQuote(cw.buf[:0], s)
+	_, cw.err = cw.w.Write(cw.buf)
+}
+
+func (cw *chromeWriter) raw(s string) {
+	if cw.err == nil {
+		_, cw.err = cw.w.WriteString(s)
+	}
+}
+
+func (cw *chromeWriter) num(v float64) {
+	if cw.err != nil {
+		return
+	}
+	cw.buf = strconv.AppendFloat(cw.buf[:0], v, 'g', -1, 64)
+	_, cw.err = cw.w.Write(cw.buf)
+}
+
+func (cw *chromeWriter) int(v int64) {
+	if cw.err != nil {
+		return
+	}
+	cw.buf = strconv.AppendInt(cw.buf[:0], v, 10)
+	_, cw.err = cw.w.Write(cw.buf)
+}
+
+// usec converts simulated seconds to trace microseconds.
+func usec(t float64) float64 { return t * 1e6 }
+
+// meta emits a metadata record naming a process or thread.
+func (cw *chromeWriter) meta(name string, pid, tid int64, value string) {
+	cw.event(`{"name":`)
+	cw.str(name)
+	cw.raw(`,"ph":"M","pid":`)
+	cw.int(pid)
+	cw.raw(`,"tid":`)
+	cw.int(tid)
+	cw.raw(`,"args":{"name":`)
+	cw.str(value)
+	cw.raw(`}}`)
+}
+
+func (cw *chromeWriter) span(name, cat string, pid, tid int64, ts, dur float64, argsK []string, argsV []float64) {
+	cw.event(`{"name":`)
+	cw.str(name)
+	cw.raw(`,"cat":`)
+	cw.str(cat)
+	cw.raw(`,"ph":"X","pid":`)
+	cw.int(pid)
+	cw.raw(`,"tid":`)
+	cw.int(tid)
+	cw.raw(`,"ts":`)
+	cw.num(ts)
+	cw.raw(`,"dur":`)
+	cw.num(dur)
+	if len(argsK) > 0 {
+		cw.raw(`,"args":{`)
+		for i, k := range argsK {
+			if i > 0 {
+				cw.raw(`,`)
+			}
+			cw.str(k)
+			cw.raw(`:`)
+			cw.num(argsV[i])
+		}
+		cw.raw(`}`)
+	}
+	cw.raw(`}`)
+}
+
+func (cw *chromeWriter) counter(name string, pid, tid int64, ts, v float64) {
+	cw.event(`{"name":`)
+	cw.str(name)
+	cw.raw(`,"ph":"C","pid":`)
+	cw.int(pid)
+	cw.raw(`,"tid":`)
+	cw.int(tid)
+	cw.raw(`,"ts":`)
+	cw.num(ts)
+	cw.raw(`,"args":{"value":`)
+	cw.num(v)
+	cw.raw(`}}`)
+}
+
+func (cw *chromeWriter) instant(name, cat string, pid, tid int64, ts float64) {
+	cw.event(`{"name":`)
+	cw.str(name)
+	cw.raw(`,"cat":`)
+	cw.str(cat)
+	cw.raw(`,"ph":"i","s":"t","pid":`)
+	cw.int(pid)
+	cw.raw(`,"tid":`)
+	cw.int(tid)
+	cw.raw(`,"ts":`)
+	cw.num(ts)
+	cw.raw(`}`)
+}
+
+// end returns the largest simulated time any record in c mentions, the
+// close time for spans still open at export.
+func (c *Collector) end() float64 {
+	var t float64
+	if n := len(c.kernel); n > 0 && c.kernel[n-1].At > t {
+		t = c.kernel[n-1].At
+	}
+	if n := len(c.gates); n > 0 && c.gates[n-1].At > t {
+		t = c.gates[n-1].At
+	}
+	if n := len(c.samples); n > 0 && c.samples[n-1].At > t {
+		t = c.samples[n-1].At
+	}
+	for i := range c.spans {
+		if c.spans[i].End > t {
+			t = c.spans[i].End
+		}
+	}
+	for i := range c.insts {
+		if c.insts[i].At > t {
+			t = c.insts[i].At
+		}
+	}
+	return t
+}
+
+func spanName(s *Span) string {
+	switch s.Kind {
+	case SpanWait:
+		return "wait"
+	case SpanExec:
+		return "exec"
+	}
+	return "span"
+}
+
+func spanCat(s *Span) string {
+	switch {
+	case s.Flags&FlagMissed != 0:
+		return "missed"
+	case s.Flags&FlagCompleted != 0:
+		return "completed"
+	}
+	return "query"
+}
+
+func instName(in *Instant) string {
+	switch in.Kind {
+	case InstReject:
+		return "reject"
+	case InstGrant:
+		return "grant"
+	case InstFluctuation:
+		return "fluctuation"
+	case InstIO:
+		return "io"
+	case InstExchange:
+		return "exchange"
+	}
+	return "instant"
+}
+
+// WriteChrome writes the whole trace as Chrome trace-event JSON.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &chromeWriter{w: bw, first: true}
+	cw.raw(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+	cw.first = true
+	for si, c := range t.Shards {
+		pid := int64(si)
+		cw.meta("process_name", pid, 0, "shard "+strconv.Itoa(int(c.Shard)))
+		cw.meta("thread_name", pid, kernelTID, "kernel events")
+		for id, ti := range c.tracks {
+			cw.meta("thread_name", pid, int64(id)+1, ti.name)
+		}
+		end := c.end()
+
+		// Kernel events: instants on the kernel thread, named by kind
+		// (turn instants also carry the task's spawn name).
+		for i := range c.kernel {
+			ev := &c.kernel[i]
+			name := KernelEventName(ev.Kind)
+			if ev.Kind == KindTurn {
+				if tn := c.taskName(ev.Arg); tn != "" {
+					name = tn
+				}
+			}
+			cw.instant(name, "kernel", pid, kernelTID, usec(ev.At))
+		}
+
+		// Gate waits: pair begin/end transitions into spans on the
+		// gate's track. Waits still open at export close at end.
+		open := map[int64]GateEvent{}
+		for i := range c.gates {
+			ge := c.gates[i]
+			key := int64(ge.Gate)<<32 | int64(uint32(ge.Task))
+			if ge.Begin {
+				open[key] = ge
+				continue
+			}
+			if b, ok := open[key]; ok {
+				delete(open, key)
+				name := c.taskName(ge.Task)
+				if name == "" {
+					name = "task " + strconv.Itoa(int(ge.Task))
+				}
+				cw.span(name, "gate", pid, int64(ge.Gate)+1,
+					usec(b.At), usec(ge.At-b.At), []string{"prio"}, []float64{b.Prio})
+			}
+		}
+		// Drain still-open waits in a deterministic order (map
+		// iteration order must not leak into the output).
+		keys := make([]int64, 0, len(open))
+		for key := range open {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := open[keys[i]], open[keys[j]]
+			if a.At != b.At {
+				return a.At < b.At
+			}
+			return keys[i] < keys[j]
+		})
+		for _, key := range keys {
+			b := open[key]
+			tid := TrackID(key >> 32)
+			task := int32(uint32(key))
+			name := c.taskName(task)
+			if name == "" {
+				name = "task " + strconv.Itoa(int(task))
+			}
+			cw.span(name, "gate-open", pid, int64(tid)+1,
+				usec(b.At), usec(end-b.At), []string{"prio"}, []float64{b.Prio})
+		}
+
+		for i := range c.spans {
+			s := &c.spans[i]
+			cw.span(spanName(s), spanCat(s), pid, int64(s.Track)+1,
+				usec(s.Begin), usec(s.End-s.Begin),
+				[]string{"query", "class", "aux"},
+				[]float64{float64(s.ID), float64(s.Class), s.Aux})
+		}
+		for i := range c.insts {
+			in := &c.insts[i]
+			cw.instant(instName(in), "system", pid, int64(in.Track)+1, usec(in.At))
+		}
+		for i := range c.samples {
+			s := &c.samples[i]
+			cw.counter(c.tracks[s.Track].name, pid, int64(s.Track)+1, usec(s.At), s.Val)
+		}
+	}
+	cw.raw("\n]}\n")
+	if cw.err != nil {
+		return cw.err
+	}
+	return bw.Flush()
+}

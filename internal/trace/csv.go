@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteCSV dumps every counter timeline as flat CSV rows
+// (shard,track,t,value), one row per recorded sample in simulation
+// order — the form the figure drivers and external plotting consume.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("shard,track,t,value\n"); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, c := range t.Shards {
+		for i := range c.samples {
+			s := &c.samples[i]
+			buf = strconv.AppendInt(buf[:0], int64(c.Shard), 10)
+			buf = append(buf, ',')
+			buf = appendCSVField(buf, c.tracks[s.Track].name)
+			buf = append(buf, ',')
+			buf = strconv.AppendFloat(buf, s.At, 'g', -1, 64)
+			buf = append(buf, ',')
+			buf = strconv.AppendFloat(buf, s.Val, 'g', -1, 64)
+			buf = append(buf, '\n')
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// appendCSVField quotes a field only when it needs it.
+func appendCSVField(buf []byte, s string) []byte {
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == '"' || c == '\n' || c == '\r' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return append(buf, s...)
+	}
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			buf = append(buf, '"', '"')
+		} else {
+			buf = append(buf, s[i])
+		}
+	}
+	return append(buf, '"')
+}

@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildCollector populates a collector with every record kind: kernel
+// events (via the Sink interface), a paired and an unpaired gate wait,
+// a span, instants, and counter samples across two tracks.
+func buildCollector(shard int32) *Collector {
+	c := NewCollector()
+	c.Shard = shard
+
+	var s Sink = c // the collector must satisfy the kernel-facing interface
+	s.TaskName(1, "worker")
+	s.Dispatch(0.5, 10, KindTurn, 1)
+	s.Dispatch(1.0, 11, KindWake, 1)
+	s.Cancel(1.5, 12)
+	s.WaitBegin(2.0, "cpu", 1, 3)
+	s.WaitEnd(2.5, "cpu", 1)
+	s.WaitBegin(3.0, "disk 0", 1, 1) // left open: exercises the drain path
+
+	q := c.Track("queries", TrackSpan)
+	c.AddSpan(q, SpanWait, 7, 0, 0.25, 0.75, 0, FlagCompleted)
+	door := c.Track("admission door", TrackInstant)
+	c.AddInstant(door, InstReject, 9, 1.25, 0)
+
+	depth := c.Counter("admit queue depth")
+	depth.Sample(0.1, 0)
+	depth.Sample(0.9, 3)
+	util := c.Counter("cpu util")
+	util.Sample(0.2, 1)
+	return c
+}
+
+// chromeEvent is the decode target for schema validation.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat"`
+	S    string         `json:"s"`
+	Pid  *int64         `json:"pid"`
+	Tid  *int64         `json:"tid"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+// TestChromeSchemaRoundTrip writes a two-shard trace and re-parses it,
+// checking the structural contract Perfetto relies on: valid JSON, the
+// documented top-level shape, and per-phase required fields.
+func TestChromeSchemaRoundTrip(t *testing.T) {
+	tr := &Trace{Shards: []*Collector{buildCollector(0), buildCollector(1)}}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+
+	var phases = map[string]int{}
+	pids := map[int64]bool{}
+	for i, raw := range doc.TraceEvents {
+		var ev chromeEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			t.Fatalf("event %d does not decode: %v", i, err)
+		}
+		phases[ev.Ph]++
+		if ev.Name == "" {
+			t.Fatalf("event %d has no name: %s", i, raw)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %d lacks pid/tid: %s", i, raw)
+		}
+		pids[*ev.Pid] = true
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				t.Errorf("metadata event %d named %q", i, ev.Name)
+			}
+		case "X":
+			if ev.Ts == nil || ev.Dur == nil || *ev.Dur < 0 {
+				t.Errorf("span event %d lacks ts/dur: %s", i, raw)
+			}
+		case "C":
+			if ev.Ts == nil {
+				t.Errorf("counter event %d lacks ts: %s", i, raw)
+			}
+			if _, ok := ev.Args["value"]; !ok {
+				t.Errorf("counter event %d lacks args.value: %s", i, raw)
+			}
+		case "i":
+			if ev.Ts == nil || ev.S != "t" {
+				t.Errorf("instant event %d lacks ts or thread scope: %s", i, raw)
+			}
+		default:
+			t.Errorf("event %d has unknown phase %q", i, ev.Ph)
+		}
+	}
+	if !pids[0] || !pids[1] {
+		t.Errorf("expected events under pid 0 and 1, got %v", pids)
+	}
+	// 3 kernel events, 1 reject instant, 1 paired + 1 open gate span,
+	// 1 query span, 3 counter samples — per shard.
+	if phases["i"] != 2*4 || phases["X"] != 2*3 || phases["C"] != 2*3 {
+		t.Errorf("phase counts %v do not match the built records", phases)
+	}
+	// Simulated seconds must land as microseconds: the 0.5 s dispatch is
+	// the first kernel instant at ts 500000.
+	if !bytes.Contains(buf.Bytes(), []byte(`"ts":500000`)) {
+		t.Error("0.5 s kernel event did not serialize as ts=500000 µs")
+	}
+}
+
+// TestChromeDeterministic pins byte-identical export across repeated
+// writes — including the drain of unpaired gate waits, which must not
+// leak map iteration order.
+func TestChromeDeterministic(t *testing.T) {
+	build := func() *Collector {
+		c := buildCollector(0)
+		var s Sink = c
+		// Several open waits on distinct gates and tasks: the writer has
+		// to order these itself.
+		s.WaitBegin(4.0, "disk 1", 2, 2)
+		s.WaitBegin(4.0, "disk 2", 3, 2)
+		s.WaitBegin(5.0, "cpu", 4, 1)
+		return c
+	}
+	var a, b bytes.Buffer
+	if err := Single(build()).WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Single(build()).WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of identical collectors differ byte-wise")
+	}
+}
+
+// TestCSVRoundTrip checks the counter dump parses as CSV with the
+// documented header and one row per sample, fields quoted only when
+// needed.
+func TestCSVRoundTrip(t *testing.T) {
+	c := buildCollector(3)
+	tricky := c.Counter(`disk "a", outer`)
+	tricky.Sample(1, 42)
+
+	var buf bytes.Buffer
+	if err := Single(c).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	want := []string{"shard", "track", "t", "value"}
+	for i, h := range want {
+		if rows[0][i] != h {
+			t.Fatalf("header %v, want %v", rows[0], want)
+		}
+	}
+	_, _, _, _, samples := c.Counts()
+	if len(rows)-1 != samples {
+		t.Errorf("%d data rows for %d samples", len(rows)-1, samples)
+	}
+	found := false
+	for _, row := range rows[1:] {
+		if row[0] != "3" {
+			t.Fatalf("row shard %q, want 3", row[0])
+		}
+		if row[1] == `disk "a", outer` && row[3] == "42" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("quoted track name did not round-trip")
+	}
+}
+
+// TestWindowFiltersKernelOnly checks SetWindow drops kernel events
+// outside [a, b) while system-level records pass through untouched.
+func TestWindowFiltersKernelOnly(t *testing.T) {
+	c := NewCollector()
+	c.SetWindow(1, 2)
+	var s Sink = c
+	s.Dispatch(0.5, 1, KindTurn, 0) // before the window
+	s.Dispatch(1.5, 2, KindWake, 0) // inside
+	s.Cancel(2.5, 3)                // after
+	q := c.Track("queries", TrackSpan)
+	c.AddSpan(q, SpanWait, 1, 0, 0, 3, 0, 0) // spans ignore the window
+	c.Counter("depth").Sample(2.5, 1)        // counters ignore the window
+
+	kernel, _, spans, _, samples := c.Counts()
+	if kernel != 1 {
+		t.Errorf("window kept %d kernel events, want 1", kernel)
+	}
+	if ev := c.Kernel()[0]; ev.At != 1.5 || ev.Kind != KindWake {
+		t.Errorf("kept wrong kernel event: %+v", ev)
+	}
+	if spans != 1 || samples != 1 {
+		t.Errorf("window swallowed system records (spans=%d samples=%d)", spans, samples)
+	}
+}
+
+// TestResetKeepsCapacityAndTracks checks Reset clears records but keeps
+// track registrations, so a warmed collector records at 0 allocs.
+func TestResetKeepsCapacityAndTracks(t *testing.T) {
+	c := buildCollector(0)
+	depth := c.Counter("admit queue depth")
+	before := c.Track("admit queue depth", TrackCounter)
+	c.Reset()
+	if k, g, sp, in, sa := c.Counts(); k+g+sp+in+sa != 0 {
+		t.Fatalf("Reset left records: %d %d %d %d %d", k, g, sp, in, sa)
+	}
+	if c.Track("admit queue depth", TrackCounter) != before {
+		t.Error("Reset dropped track registrations")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var s Sink = c
+		s.Dispatch(1, 1, KindTurn, 1)
+		depth.Sample(1, 2)
+		c.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("warmed collector allocated %.1f per record cycle", allocs)
+	}
+}

@@ -24,6 +24,8 @@
 package pmm
 
 import (
+	"io"
+
 	"pmm/internal/catalog"
 	"pmm/internal/core"
 	"pmm/internal/disk"
@@ -31,6 +33,7 @@ import (
 	"pmm/internal/resultstore"
 	"pmm/internal/rtdbs"
 	"pmm/internal/runner"
+	"pmm/internal/trace"
 	"pmm/internal/workload"
 )
 
@@ -107,6 +110,25 @@ type (
 	// PairedTarget selects two values of one axis whose points stop on
 	// their paired-difference CI (common-random-number policy gaps).
 	PairedTarget = runner.PairedTarget
+	// SweepProgress streams live per-job sweep telemetry (set
+	// SweepSpec.Progress) and accumulates a SweepTrace.
+	SweepProgress = runner.Progress
+	// SweepTrace is the structured execution telemetry of one sweep.
+	SweepTrace = runner.SweepTrace
+	// PointTrace is the per-point block of a SweepTrace.
+	PointTrace = runner.PointTrace
+)
+
+// Simulation-trace types, aliased from internal/trace and
+// internal/rtdbs: the deterministic observability layer.
+type (
+	// RunTrace is a complete run trace (one collector per shard); write
+	// it out with WriteChrome (Perfetto) or WriteCSV.
+	RunTrace = trace.Trace
+	// TraceCollector accumulates the records of one kernel's run.
+	TraceCollector = trace.Collector
+	// TraceWindow bounds kernel-level event recording to [A, B).
+	TraceWindow = rtdbs.TraceWindow
 )
 
 // Result-store types, aliased from internal/resultstore: the
@@ -163,6 +185,22 @@ func New(cfg Config) (*System, error) { return rtdbs.New(cfg) }
 func Run(cfg Config) (*Results, error) {
 	return rtdbs.Simulate(cfg, nil)
 }
+
+// RunTraced is Run with an attached simulation trace: the run is
+// bit-for-bit identical (the trace layer observes, never perturbs) and
+// the returned RunTrace holds kernel events (optionally bounded to win),
+// query lifecycle spans, and resource timelines — one collector per cell
+// for multi-tenant configs. Export with RunTrace.WriteChrome (Perfetto)
+// or WriteCSV.
+func RunTraced(cfg Config, win TraceWindow) (*Results, *RunTrace, error) {
+	return rtdbs.SimulateTraced(cfg, nil, win)
+}
+
+// NewSweepProgress returns a SweepProgress streaming per-job completion
+// lines (with a live ETA) to w; pass nil to collect the SweepTrace
+// silently. Attach it as SweepSpec.Progress — it observes scheduling
+// only and never changes sweep results.
+func NewSweepProgress(w io.Writer) *SweepProgress { return runner.NewProgress(w) }
 
 // Sweep expands spec's axes into a grid of configurations, runs every
 // point × replicate on a bounded worker pool with deterministic
