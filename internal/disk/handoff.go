@@ -1,0 +1,498 @@
+package disk
+
+import (
+	"fmt"
+	"math"
+
+	"pmm/internal/sim"
+)
+
+// Intra-cell disk cut: one simulated system split across kernels along
+// the CPU/disk boundary. The home partition runs the CPU, buffer pool,
+// admission, and every query process; each remote partition runs a
+// group of disks on its own kernel. The cut exploits the one-way data
+// flow of a disk access — the service time is the only thing the home
+// side cannot compute locally, because drawing it consumes the disk's
+// rotational-latency RNG stream.
+//
+// Division of labor:
+//
+//   - The home disk runs in proxy mode: it keeps a full deterministic
+//     mirror — queue (the real gate, with query processes parked in
+//     it), head position, elevator direction, busy flag, busy meter,
+//     prefetch-cache streams, served/seqHits counters — via shape(),
+//     which replays every state transition except the RNG draw. All
+//     results, probes, and counters read home state, so nothing is
+//     merged back from remote partitions; their state is scaffolding.
+//   - The remote twin is purely message-driven: it replays the home
+//     partition's requests, cancels, and completion firings in exact
+//     home emission order, runs the classic queue/dispatch machinery
+//     with detached records, and draws service times from the
+//     identically seeded per-disk RNG in the identical order. At every
+//     dispatch it reports the completion time back; it schedules no
+//     events of its own, so its event order is the home's event order.
+//
+// Event-order fidelity is the heart of the cut. Equal simulation times
+// are common here — sequential stream hits have deterministic
+// transfer-rate service times — and the classic run breaks such ties by
+// event sequence numbers stamped at scheduling time. The mirror
+// preserves both sides of that:
+//
+//   - On the home side, each dispatch stamps a held completion event
+//     (sim.AtCompleteHeld) at the exact point the classic path calls
+//     AtComplete, freezing its tie-break rank; the event is placed at
+//     its true time (sim.Place) when the remote's report arrives.
+//   - On the remote side, nothing is scheduled at all: the in-flight
+//     transfer completes when the home mirror's completion event fires
+//     and sends MsgFire, so requests racing a completion at the same
+//     timestamp are processed in exactly the order the home (= classic)
+//     run processed them.
+//
+// Reports are emitted at dispatch, not completion, so the home side
+// always knows the current transfer's true finish time one full service
+// ahead. The conservative run cap for the home partition is, per busy
+// disk, strictly below reported-completion + MinAccessTime (the next
+// dispatch cannot finish sooner), or strictly below dispatch-time +
+// MinAccessTime while a report is in flight; an idle disk contributes
+// no bound, and a request issued to an idle disk mid-window lowers the
+// home kernel's run cap in place (Kernel.LowerRunCap), keeping the
+// window honest without restarting it. The caps are strict (capBelow)
+// because Run's bound is inclusive: an event at exactly the bound with
+// a later sequence number must not fire before a completion landing
+// there is placed.
+
+// Message kinds of the disk cut, carried in sim.Message.Kind.
+const (
+	// MsgAccess: home → remote, a new disk access. A = handle, B =
+	// file, C = cylinder<<32 | pages, D = disk<<32 | fromPage, P =
+	// priority, At = issue time.
+	MsgAccess int32 = iota + 1
+	// MsgCancel: home → remote, a queued access abandoned by an
+	// interrupt before dispatch. A = handle, D = disk<<32, At =
+	// interrupt time.
+	MsgCancel
+	// MsgFire: home → remote, the in-flight transfer completing at its
+	// reported time. A = handle, D = disk<<32, At = completion time.
+	// The remote twin completes and redispatches on it, keeping every
+	// remote state transition in home emission order.
+	MsgFire
+	// MsgComplete: remote → home, the completion time of a dispatched
+	// access, emitted at dispatch. A = handle, D = disk<<32, At = the
+	// completion time. Consumed at the window barrier (ApplyReport),
+	// never delivered into a kernel.
+	MsgComplete
+)
+
+// MsgDisk returns the disk index a cut message addresses.
+func MsgDisk(m sim.Message) int { return int(m.D >> 32) }
+
+// capBelow returns the largest float strictly below t: the run cap
+// that lets a window fire every event before t but none at t itself.
+func capBelow(t float64) float64 {
+	if math.IsInf(t, 1) {
+		return t
+	}
+	return math.Nextafter(t, math.Inf(-1))
+}
+
+// Outbox accumulates one partition's outgoing cut messages between
+// synchronization points. The home partition owns one for requests,
+// cancels, and firings (messages draw a per-outbox sequence number,
+// preserving emission order through sorting); each remote partition
+// owns one for completion reports. The driver drains Msgs at each
+// barrier and calls Reset; the backing array is reused, so steady-state
+// emission does not allocate.
+type Outbox struct {
+	Msgs   []sim.Message
+	shard  int32
+	seq    uint64
+	handle int64
+}
+
+// NewOutbox returns an empty outbox stamping messages with the given
+// emitting-shard id.
+func NewOutbox(shard int32) *Outbox { return &Outbox{shard: shard} }
+
+// Reset clears the outbox for the next window, keeping capacity.
+func (o *Outbox) Reset() { o.Msgs = o.Msgs[:0] }
+
+// nextHandle issues a fresh request handle; 0 is reserved for classic
+// (uncut) requests.
+func (o *Outbox) nextHandle() int64 {
+	o.handle++
+	return o.handle
+}
+
+func (o *Outbox) emitAccess(at float64, disk int, req *Request) {
+	o.Msgs = append(o.Msgs, sim.Message{
+		At: at, Seq: o.seq, Shard: o.shard, Kind: MsgAccess,
+		A: req.h, B: req.file,
+		C: int64(req.cylinder)<<32 | int64(uint32(req.pages)),
+		D: int64(disk)<<32 | int64(uint32(req.page)),
+		P: req.prio,
+	})
+	o.seq++
+}
+
+func (o *Outbox) emitCancel(at float64, disk int, h int64) {
+	o.Msgs = append(o.Msgs, sim.Message{
+		At: at, Seq: o.seq, Shard: o.shard, Kind: MsgCancel,
+		A: h, D: int64(disk) << 32,
+	})
+	o.seq++
+}
+
+func (o *Outbox) emitFire(at float64, disk int, h int64) {
+	o.Msgs = append(o.Msgs, sim.Message{
+		At: at, Seq: o.seq, Shard: o.shard, Kind: MsgFire,
+		A: h, D: int64(disk) << 32,
+	})
+	o.seq++
+}
+
+func (o *Outbox) emitReport(disk int, h int64, completion float64) {
+	o.Msgs = append(o.Msgs, sim.Message{
+		At: completion, Seq: uint64(disk), Shard: o.shard, Kind: MsgComplete,
+		A: h, D: int64(disk) << 32,
+	})
+}
+
+// proxyState is the home-side bookkeeping a disk keeps in proxy mode,
+// beyond the mirrored model state that lives in Disk itself.
+type proxyState struct {
+	minAccess float64
+	out       *Outbox
+	// w is the gate entry of a directly served request whose owner is
+	// still parked; nil while a queued request is in service, or after
+	// an interrupt tore the owner out mid-transfer (the completion is
+	// then applied silently, as on the classic path).
+	w *sim.Waiting
+	// h and dispatchT identify the in-flight request (valid while busy).
+	h         int64
+	dispatchT float64
+	direct    bool
+	// ev is the in-flight request's held completion event, stamped at
+	// dispatch (freezing its classic tie-break rank) and placed at the
+	// reported completion time c once reported is set. The lookahead
+	// protocol delivers every report one full window before its time,
+	// so at most one dispatch per disk is ever unreported.
+	ev       sim.Timer
+	c        float64
+	reported bool
+}
+
+// EnableProxy switches every disk of the manager into home-partition
+// proxy mode: accesses mirror their deterministic effects locally,
+// emit the request into out, and complete when the remote partition's
+// reported time arrives. Must be called before any access is issued.
+func (m *Manager) EnableProxy(out *Outbox) {
+	if m.params.MinAccessTime() <= 0 {
+		panic("disk: proxy mode needs a positive minimum access time")
+	}
+	for _, d := range m.disks {
+		d.proxy = &proxyState{minAccess: m.params.MinAccessTime(), out: out}
+		d.gate.SetInterruptHook(d.proxyInterrupt)
+	}
+}
+
+// ProxyBound returns the home partition's conservative run cap for the
+// current window: the largest time strictly below the earliest point
+// any disk's next unknown completion could occur. +Inf when every disk
+// is idle (the self-limiting run cap covers requests issued
+// mid-window).
+func (m *Manager) ProxyBound() float64 {
+	bound := math.Inf(1)
+	for _, d := range m.disks {
+		if b := d.proxyBound(); b < bound {
+			bound = b
+		}
+	}
+	return capBelow(bound)
+}
+
+func (d *Disk) proxyBound() float64 {
+	if !d.busy {
+		return math.Inf(1)
+	}
+	p := d.proxy
+	if p.reported {
+		// The in-flight transfer's completion time is known; the next
+		// dispatch happens there and cannot finish before + minAccess.
+		return p.c + p.minAccess
+	}
+	return p.dispatchT + p.minAccess
+}
+
+// ApplyReport records a completion report received at a barrier: it
+// feeds ProxyBound and places the in-flight transfer's held completion
+// event at its true time.
+func (m *Manager) ApplyReport(msg sim.Message) {
+	if msg.Kind != MsgComplete {
+		panic(fmt.Sprintf("disk: home partition received message kind %d", msg.Kind))
+	}
+	d := m.disks[MsgDisk(msg)]
+	p := d.proxy
+	if !d.busy || p.reported || p.h != msg.A {
+		panic(fmt.Sprintf("disk %d: report (%d, %g) does not match in-flight request %d",
+			d.id, msg.A, msg.At, p.h))
+	}
+	p.c = msg.At
+	p.reported = true
+	d.k.Place(p.ev, msg.At)
+}
+
+// startProxy is the proxy-mode body of start: mirror the deterministic
+// effects, ship the request to the remote twin, and park the caller in
+// the gate (the direct path too — its completion arrives as a placed
+// event, not a hold timer, but the visible timing is identical).
+func (d *Disk) startProxy(t sim.Task, prio float64, req *Request) bool {
+	p := d.proxy
+	now := d.k.Now()
+	if !d.busy {
+		req.h = p.out.nextHandle()
+		d.busy = true
+		d.meter.SetBusy(true)
+		d.shape(req)
+		p.h, p.dispatchT, p.direct, p.w = req.h, now, true, nil
+		p.ev = d.k.AtCompleteHeld(d.compID, true)
+		p.reported = false
+		p.out.emitAccess(now, d.id, req)
+		// The window was bounded assuming this disk idle; its next
+		// completion can now occur as soon as now + minAccess.
+		d.k.LowerRunCap(capBelow(now + p.minAccess))
+		if !d.gate.Enqueue(t, prio, req, 0) {
+			// Pending interrupt: the caller never parks, but the remote
+			// transfer runs to completion regardless — same semantics as
+			// the classic idle-disk path, where the service is already
+			// scheduled when StartHold reports the consumed interrupt.
+			return false
+		}
+		p.w = d.gate.Tail()
+		return true
+	}
+	if !d.gate.Enqueue(t, prio, req, 0) {
+		return false
+	}
+	req.h = p.out.nextHandle()
+	p.out.emitAccess(now, d.id, req)
+	return true
+}
+
+// proxyInterrupt observes a waiter torn out of the gate by an
+// interrupt. A queued entry's remote twin must be retracted before its
+// dispatch; a directly served entry's transfer is past retracting —
+// the completion will be applied silently, as on the classic path.
+func (d *Disk) proxyInterrupt(w *sim.Waiting) {
+	p := d.proxy
+	if w == p.w {
+		p.w = nil
+		return
+	}
+	p.out.emitCancel(d.k.Now(), d.id, w.Data.(*Request).h)
+}
+
+// proxyComplete fires the in-flight request's placed completion event:
+// the mirror finishes it exactly as the classic completion event
+// would, tells the remote twin to do the same (MsgFire, emitted first
+// so requests issued by processes woken here stay behind it in the
+// emission order), and dispatches the next request.
+func (d *Disk) proxyComplete(direct bool) {
+	p := d.proxy
+	if !d.busy || !p.reported || p.c != d.k.Now() || direct != p.direct {
+		panic(fmt.Sprintf("disk %d: completion event does not match in-flight request %d",
+			d.id, p.h))
+	}
+	p.out.emitFire(p.c, d.id, p.h)
+	p.reported = false
+	if direct {
+		// Classic order at a direct completion: the disk-side event
+		// (counters, dispatch) runs before the caller's separately
+		// scheduled wake. Unlink the caller's entry first so the
+		// dispatch scan never sees it — on the classic path it was
+		// never queued at all.
+		w := p.w
+		p.w = nil
+		if w != nil && !d.gate.BeginService(w) {
+			panic(fmt.Sprintf("disk %d: direct entry vanished before completion", d.id))
+		}
+		d.served++
+		d.busy = false
+		d.meter.SetBusy(false)
+		d.proxyDispatch()
+		if w != nil {
+			d.gate.EndService(w)
+		}
+	} else {
+		// Classic completeQueued order: wake the served process first,
+		// then dispatch the next request.
+		w := d.cur
+		d.cur = nil
+		d.served++
+		d.busy = false
+		d.meter.SetBusy(false)
+		d.gate.EndService(w)
+		d.proxyDispatch()
+	}
+}
+
+// proxyDispatch mirrors dispatch for proxy mode: same pick, same state
+// transitions, and a held completion event stamped exactly where the
+// classic path schedules its AtComplete — but no service-time draw and
+// no known fire time. The remote twin makes the identical pick on the
+// MsgFire just emitted, draws the time, and reports it.
+func (d *Disk) proxyDispatch() {
+	if d.busy {
+		return
+	}
+	best := d.pickNext()
+	if best == nil {
+		return
+	}
+	req := best.Data.(*Request)
+	if !d.gate.BeginService(best) {
+		return
+	}
+	d.busy = true
+	d.meter.SetBusy(true)
+	d.shape(req)
+	d.cur = best
+	p := d.proxy
+	p.h = req.h
+	p.dispatchT = d.k.Now()
+	p.direct = false
+	p.ev = d.k.AtCompleteHeld(d.compID, false)
+	p.reported = false
+	d.k.LowerRunCap(capBelow(d.k.Now() + p.minAccess))
+}
+
+// getWait draws a detached queue record from the disk's pool.
+func (d *Disk) getWait() *sim.Waiting {
+	if n := len(d.waitFree) - 1; n >= 0 {
+		w := d.waitFree[n]
+		d.waitFree = d.waitFree[:n]
+		return w
+	}
+	return &sim.Waiting{}
+}
+
+// putWait recycles a detached queue record.
+func (d *Disk) putWait(w *sim.Waiting) {
+	d.waitFree = append(d.waitFree, w)
+}
+
+// Server runs a group of remote-twin disks on their own kernel. It
+// receives the home partition's requests, cancels, and completion
+// firings as timestamped kernel messages, replays them through the
+// classic queue/dispatch machinery with detached records, and emits a
+// completion report at every dispatch. It schedules no events of its
+// own, so the kernel's clock simply follows the message stream. Only
+// the disks the driver routes requests to ever act; the rest stay idle
+// and cost nothing.
+type Server struct {
+	k       *sim.Kernel
+	mgr     *Manager
+	out     *Outbox
+	handler int32
+}
+
+// NewServer builds the remote side of a disk cut on kernel k. The
+// params and seed must match the home manager's, so the per-disk RNG
+// streams — the only state the home side does not mirror — are
+// identical; requests arrive with resolved cylinders, so no extent
+// state is needed.
+func NewServer(k *sim.Kernel, params Params, seed int64, shard int32) (*Server, error) {
+	mgr, err := NewManager(k, params, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{k: k, mgr: mgr, out: NewOutbox(shard)}
+	for _, d := range mgr.disks {
+		d := d
+		d.report = func(h int64, completion float64) {
+			s.out.emitReport(d.id, h, completion)
+		}
+	}
+	s.handler = k.RegisterMessageHandler(s)
+	return s, nil
+}
+
+// HandlerID returns the kernel message-handler id home messages must
+// be delivered to.
+func (s *Server) HandlerID() int32 { return s.handler }
+
+// Outbox returns the server's report outbox; the driver drains it
+// after each window and Resets it.
+func (s *Server) Outbox() *Outbox { return s.out }
+
+// HandleMessage applies one home-partition message at its stamped
+// time; see sim.MessageHandler.
+func (s *Server) HandleMessage(m sim.Message) {
+	d := s.mgr.disks[MsgDisk(m)]
+	switch m.Kind {
+	case MsgAccess:
+		d.startRemote(m)
+	case MsgCancel:
+		d.cancelRemote(m.A)
+	case MsgFire:
+		d.fireRemote(m.A)
+	default:
+		panic(fmt.Sprintf("disk: remote partition received message kind %d", m.Kind))
+	}
+}
+
+// startRemote replays a home request on its remote twin: the classic
+// start path, with a pooled record standing in for the caller's scratch
+// and a detached gate record standing in for the parked process. No
+// completion is scheduled — the home mirror fires it back as MsgFire.
+func (d *Disk) startRemote(m sim.Message) {
+	req := d.getReq()
+	*req = Request{
+		cylinder: int(m.C >> 32), pages: int(int32(m.C)),
+		prio: m.P, file: m.B, page: int(int32(m.D)), h: m.A,
+	}
+	d.clamp(req)
+	if !d.busy {
+		d.busy = true
+		d.meter.SetBusy(true)
+		service := d.serviceTime(req)
+		d.remoteH = req.h
+		d.report(req.h, d.k.Now()+service)
+		d.putReq(req)
+		return
+	}
+	d.gate.EnqueueDetached(d.getWait(), req.prio, req, 0)
+}
+
+// cancelRemote retracts a queued twin the home partition abandoned. The
+// home-order message stream guarantees the twin is still queued: had
+// the remote disk dispatched it first, the home mirror would have made
+// the same dispatch at the same time and the entry would have been
+// uncancellable there.
+func (d *Disk) cancelRemote(h int64) {
+	for w := d.gate.First(); w != nil; w = w.Next() {
+		req := w.Data.(*Request)
+		if req.h != h {
+			continue
+		}
+		if !d.gate.Cancel(w) {
+			break
+		}
+		d.putReq(req)
+		d.putWait(w)
+		return
+	}
+	panic(fmt.Sprintf("disk %d: cancel for unknown request %d", d.id, h))
+}
+
+// fireRemote applies the home mirror's completion firing: finish the
+// in-flight transfer and dispatch (and report) the next one.
+func (d *Disk) fireRemote(h int64) {
+	if !d.busy || d.remoteH != h {
+		panic(fmt.Sprintf("disk %d: fire for %d does not match in-flight request", d.id, h))
+	}
+	if d.cur == nil {
+		d.completeDirect()
+	} else {
+		d.completeQueued()
+	}
+}

@@ -128,9 +128,21 @@ type Config struct {
 	// concurrently in a multi-tenant run. It is purely an execution
 	// knob: results are bit-for-bit identical for every value, so it is
 	// canonicalized to 0 and excluded from result-store keys. 0 or 1
-	// runs the partitions sequentially; values above Tenants are
-	// clamped.
+	// runs the partitions sequentially. With DiskShards > 1 the same
+	// workers also serve each cell's disk partitions, so useful values
+	// extend to Tenants × (1 + DiskShards).
 	Shards int
+	// DiskShards > 1 splits each tenant's disk farm across that many
+	// extra kernels (disk i goes to partition i mod DiskShards, values
+	// above the disk count are clamped), parallelizing even a
+	// single-tenant run along its CPU/disk boundary. Like Shards it is
+	// purely an execution knob: the home partition mirrors every
+	// deterministic disk decision and remote partitions replay the
+	// identical RNG streams, so metrics, event digests, and result-store
+	// keys are bit-for-bit identical for every value. 0 or 1 keeps the
+	// classic single-kernel path; canonicalized to 0 and excluded from
+	// result-store keys.
+	DiskShards int
 }
 
 // withDefaults fills unset fields with the paper's defaults.
@@ -209,6 +221,9 @@ func (c Config) validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("rtdbs: negative shard count %d", c.Shards)
 	}
+	if c.DiskShards < 0 {
+		return fmt.Errorf("rtdbs: negative disk shard count %d", c.DiskShards)
+	}
 	if c.SyncInterval < 0 {
 		return fmt.Errorf("rtdbs: negative sync interval %g", c.SyncInterval)
 	}
@@ -239,7 +254,7 @@ func (c Config) validate() error {
 // golden event-order digests in golden_test.go catch accidental
 // behavior changes; an intentional one must update both the digests and
 // this epoch, which invalidates every previously stored result.
-const SimEpoch = "e4-inline-scheduler"
+const SimEpoch = "e5-disk-partitioned"
 
 // Canonical returns the configuration in canonical form: every
 // defaulted field made explicit (exactly as New applies them) and every
@@ -280,11 +295,12 @@ func (c Config) Canonical() Config {
 		cls[i] = cls[i].CanonicalSpec()
 	}
 	c.Classes = cls
-	// Shards is a pure execution knob — every value produces the same
-	// results — so it never participates in content addressing. A
-	// single-tenant run ignores SyncInterval and SyncStretch entirely,
-	// and stretch 1 is the fixed barrier.
+	// Shards and DiskShards are pure execution knobs — every value
+	// produces the same results — so they never participate in content
+	// addressing. A single-tenant run ignores SyncInterval and
+	// SyncStretch entirely, and stretch 1 is the fixed barrier.
 	c.Shards = 0
+	c.DiskShards = 0
 	if c.SyncStretch <= 1 {
 		c.SyncStretch = 0
 	}

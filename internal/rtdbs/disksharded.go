@@ -1,0 +1,156 @@
+package rtdbs
+
+import (
+	"fmt"
+	"math"
+
+	"pmm/internal/disk"
+	"pmm/internal/sim"
+)
+
+// Intra-cell disk partitioning (Config.DiskShards): one cell's disks
+// run on DiskShards extra kernels while the home kernel keeps the CPU,
+// buffer pool, admission controller, and every query process. The
+// protocol lives in internal/disk (see handoff.go); this file drives
+// it: alternate the home kernel and the disk kernels window by window,
+// ferrying timestamped requests, cancels, and completion reports
+// between them.
+//
+// The window structure is asymmetric because the data flow is. The
+// home side runs first, bounded by what it knows about in-flight
+// transfers (disk.Manager.ProxyBound, tightened in place by
+// Kernel.LowerRunCap when a request hits an idle disk mid-window);
+// the disk kernels then catch up to exactly the time the home side
+// reached, consuming the messages the home side just emitted at their
+// stamped times; the reports they emit — each dispatch announces its
+// completion time a full service ahead — come back at the barrier,
+// extending the next window's bound and placing the home mirror's held
+// completion events at their true times. Every round advances the cut
+// by at least one minimum access time, so the loop terminates without
+// a fixed synchronization interval.
+
+// diskPart is one group of remote-twin disks on its own kernel.
+type diskPart struct {
+	k   *sim.Kernel
+	srv *disk.Server
+}
+
+// Kernel implements sim.Partition.
+func (p *diskPart) Kernel() *sim.Kernel { return p.k }
+
+// Horizon implements sim.Partition. Disk partitions are driven to
+// explicit bounds by their cell, never by a coordinator's horizon scan.
+func (p *diskPart) Horizon() float64 { return sim.InfHorizon() }
+
+// diskCell couples one System's home kernel to its disk partitions.
+type diskCell struct {
+	sys   *System
+	out   *disk.Outbox // home-side requests, cancels, and firings
+	parts []*diskPart
+	// pool fans the disk partitions out across workers; the batch is
+	// this cell's private fan-out state. In a multi-tenant run the pool
+	// is the coordinator's, shared by all cells; a standalone
+	// single-tenant run owns its pool.
+	pool    *sim.Pool
+	batch   *sim.Batch
+	pparts  []sim.Partition
+	scratch []sim.Message // report merge buffer, reused every barrier
+}
+
+// newDiskCell cuts sys's disk farm across `shards` fresh kernels. The
+// cell's pool and batch are wired by the caller, which knows whether a
+// coordinator pool is available to share.
+func newDiskCell(sys *System, shards int) (*diskCell, error) {
+	if nd := sys.cfg.Disk.NumDisks; shards > nd {
+		shards = nd
+	}
+	c := &diskCell{sys: sys, out: disk.NewOutbox(0)}
+	sys.disks.EnableProxy(c.out)
+	for g := 0; g < shards; g++ {
+		k := sim.NewKernel()
+		srv, err := disk.NewServer(k, sys.cfg.Disk, sys.cfg.Seed, int32(g+1))
+		if err != nil {
+			return nil, fmt.Errorf("rtdbs: disk shard %d: %w", g, err)
+		}
+		p := &diskPart{k: k, srv: srv}
+		c.parts = append(c.parts, p)
+		c.pparts = append(c.pparts, p)
+	}
+	return c, nil
+}
+
+// Advance implements sim.Advancer: run the whole cell — home kernel
+// plus disk partitions — to exactly bound.
+func (c *diskCell) Advance(bound float64) {
+	k := c.sys.k
+	for {
+		k.SetRunCap(c.sys.disks.ProxyBound())
+		k.Run(bound)
+		reached := k.Now()
+		c.flushHome()
+		c.pool.Advance(c.batch, c.pparts, reached)
+		c.collectReports()
+		if reached >= bound {
+			k.SetRunCap(math.Inf(1))
+			return
+		}
+	}
+}
+
+// flushHome delivers the home side's requests, cancels, and completion
+// firings into their disk partitions' kernels at the stamped times; the
+// per-outbox sequence numbers keep same-time messages in home emission
+// order, so each partition replays exactly the home (= classic) event
+// order. Disk i lives on partition i mod DiskShards.
+func (c *diskCell) flushHome() {
+	msgs := c.out.Msgs
+	for i := range msgs {
+		p := c.parts[disk.MsgDisk(msgs[i])%len(c.parts)]
+		p.k.DeliverMessage(p.srv.HandlerID(), msgs[i])
+	}
+	c.out.Reset()
+}
+
+// collectReports merges the partitions' completion reports into the
+// global (time, disk) order — a property of the messages alone, so the
+// home side sees one stream regardless of how disks are grouped — and
+// applies each to its home mirror: the report extends the conservative
+// bound and places the in-flight transfer's held completion event at
+// its true time (its classic tie-break rank was already frozen at
+// dispatch, so equal-time ordering stays exact).
+func (c *diskCell) collectReports() {
+	c.scratch = c.scratch[:0]
+	for _, p := range c.parts {
+		c.scratch = append(c.scratch, p.srv.Outbox().Msgs...)
+		p.srv.Outbox().Reset()
+	}
+	if len(c.scratch) == 0 {
+		return
+	}
+	sim.SortMessages(c.scratch)
+	for _, m := range c.scratch {
+		c.sys.disks.ApplyReport(m)
+	}
+}
+
+// runDiskSharded simulates a single-tenant configuration with its disk
+// farm cut across DiskShards kernels. The System is built exactly as
+// the classic path builds it; only where service times are drawn — and
+// which kernels advance in parallel — differs, so the results are
+// bit-for-bit identical to DiskShards = 0.
+func runDiskSharded(cfg Config, a *sim.Arena) (*Results, error) {
+	cfg = cfg.withDefaults()
+	sys, err := NewWithArena(cfg, a)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := newDiskCell(sys, cfg.DiskShards)
+	if err != nil {
+		return nil, err
+	}
+	dc.pool = sim.NewPool(len(dc.parts))
+	dc.batch = dc.pool.NewBatch()
+	defer dc.pool.Close()
+	dc.Advance(cfg.Duration)
+	return sys.results(), nil
+}

@@ -1,0 +1,138 @@
+package rtdbs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestDiskShardedConformance is the tentpole guarantee of the disk cut:
+// a single-tenant run produces byte-identical Results — every metric,
+// every termination event — for every DiskShards value, including the
+// classic single-kernel path it must exactly mirror.
+func TestDiskShardedConformance(t *testing.T) {
+	for _, pol := range []PolicyConfig{
+		{Kind: PolicyMinMax},
+		{Kind: PolicyPMM},
+	} {
+		cfg := baselineConfig(pol, 0.06, 900)
+		base, err := Simulate(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Terminated < 20 {
+			t.Fatalf("only %d terminations — run too short to be meaningful", base.Terminated)
+		}
+		for _, ds := range []int{1, 2, 4} {
+			c := cfg
+			c.DiskShards = ds
+			got, err := Simulate(c, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("policy %d diskShards=%d: results differ from classic path",
+					pol.Kind, ds)
+			}
+		}
+	}
+}
+
+// TestDiskShardedTenantConformance stacks both cuts: a multi-tenant run
+// with adaptive broker lookahead must produce identical results and
+// shard digests whether or not each cell's disks are split further, and
+// for any worker count over the combined partition set.
+func TestDiskShardedTenantConformance(t *testing.T) {
+	cfg := tenantConfig(PolicyConfig{Kind: PolicyPMM}, 3, 1, 600)
+	cfg.SyncStretch = 8
+	base, err := Simulate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ShardDigest == "" {
+		t.Fatal("multi-tenant run produced no shard digest")
+	}
+	for _, tc := range []struct{ shards, diskShards int }{
+		{1, 2}, {3, 2}, {12, 2}, {4, 4},
+	} {
+		c := cfg
+		c.Shards, c.DiskShards = tc.shards, tc.diskShards
+		got, err := Simulate(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ShardDigest != base.ShardDigest {
+			t.Errorf("shards=%d diskShards=%d: digest %s != uncut digest %s",
+				tc.shards, tc.diskShards, got.ShardDigest, base.ShardDigest)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("shards=%d diskShards=%d: results differ from uncut run",
+				tc.shards, tc.diskShards)
+		}
+	}
+}
+
+// TestDiskShardedGoldenDigest pins the disk-partitioned run to the SAME
+// golden constant as the uncut partitioned run: the cut reshapes
+// kernel bookkeeping, never model behavior, so the digest may not move
+// by even a bit.
+func TestDiskShardedGoldenDigest(t *testing.T) {
+	cfg := tenantConfig(PolicyConfig{Kind: PolicyMinMax}, 2, 2, 600)
+	cfg.DiskShards = 2
+	r, err := Simulate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShardDigest != shardedGoldenWant {
+		t.Fatalf("disk-partitioned digest diverged from the golden constant:\n got %s\nwant %s",
+			r.ShardDigest, shardedGoldenWant)
+	}
+}
+
+// TestDiskShardedStress fuzzes the cut over randomized topologies —
+// disk counts that do not divide evenly into groups, tenant stacking,
+// interrupt-heavy policies — asserting byte equality across DiskShards
+// values. Run with -race, this also exercises the home/disk message
+// paths for data races (partition kernels must share nothing).
+func TestDiskShardedStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(11))
+	policies := []PolicyConfig{
+		{Kind: PolicyMax},
+		{Kind: PolicyMinMax},
+		{Kind: PolicyMinMax, MPLLimit: 4},
+		{Kind: PolicyProportional},
+		{Kind: PolicyPMM},
+	}
+	for trial := 0; trial < 5; trial++ {
+		pol := policies[rng.Intn(len(policies))]
+		cfg := baselineConfig(pol, 0.05+0.04*rng.Float64(), 300+200*rng.Float64())
+		cfg.Seed = rng.Int63()
+		cfg.Disk.NumDisks = 3 + rng.Intn(6)
+		if rng.Intn(2) == 1 {
+			cfg.Tenants = 2
+			cfg.MemoryPages = 800
+			cfg.SyncInterval = 1.0
+			cfg.Shards = 1 + rng.Intn(4)
+		}
+		var base *Results
+		for _, ds := range []int{1, 2, 3, 8} {
+			c := cfg
+			c.DiskShards = ds
+			got, err := Simulate(c, nil)
+			if err != nil {
+				t.Fatalf("trial %d diskShards=%d: %v", trial, ds, err)
+			}
+			if base == nil {
+				base = got
+				continue
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("trial %d (disks=%d tenants=%d policy=%d) diskShards=%d: results differ",
+					trial, cfg.Disk.NumDisks, cfg.Tenants, pol.Kind, ds)
+			}
+		}
+	}
+}

@@ -379,3 +379,40 @@ func procsOf(g *Gate) []Task {
 	}
 	return out
 }
+
+// benchPart is a minimal partition: an empty kernel whose horizon sits
+// one second past its clock, so every coordinator window costs only the
+// synchronization machinery itself.
+type benchPart struct{ k *Kernel }
+
+func (p *benchPart) Kernel() *Kernel  { return p.k }
+func (p *benchPart) Horizon() float64 { return p.k.Now() + 1 }
+
+// BenchmarkCoordinatorWindow measures the per-window cost of the
+// partition coordinator: horizon scan, fan-out through the persistent
+// worker pool, barrier, and exchange. This is the fixed tax every
+// synchronization interval of a partitioned run pays regardless of how
+// much simulation happens inside the window, and it must stay
+// allocation-free — the pool parks its workers between windows instead
+// of spawning goroutines per window.
+func BenchmarkCoordinatorWindow(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"workers=4", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			parts := make([]Partition, 4)
+			for i := range parts {
+				parts[i] = &benchPart{k: NewKernel()}
+			}
+			c := NewCoordinator(parts, bc.workers, func(now float64) {})
+			defer c.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			c.Run(float64(b.N))
+		})
+	}
+}

@@ -3,7 +3,6 @@ package sim
 import (
 	"math"
 	"sort"
-	"sync"
 	"sync/atomic"
 )
 
@@ -19,6 +18,18 @@ import (
 // deterministic, the combined simulation is bit-for-bit identical for
 // any worker count — including workers = 1 — which is what lets golden
 // digests extend to the parallel path.
+//
+// Two coupling styles ride on this scaffold:
+//
+//   - Barrier-time exchanges: interactions applied exactly at the
+//     window bound (the multi-tenant memory broker).
+//   - Timestamped in-window messages: interactions that occurred at
+//     known times strictly inside the window, delivered into the
+//     destination kernel's queue via Kernel.DeliverMessage before the
+//     destination advances across them (the intra-cell disk cut).
+//     Delivering a batch in SortMessages order preserves the global
+//     (At, Seq, Shard) total order through the kernel's own sequence
+//     numbering.
 
 // Partition is one shard of a partitioned simulation. Implementations
 // wrap a kernel plus the model state that runs on it; the contract is
@@ -36,10 +47,148 @@ type Partition interface {
 	Horizon() float64
 }
 
+// Advancer is an optional Partition refinement: a partition that is
+// itself internally partitioned (e.g. a cell split across its disks)
+// and must run its own sub-protocol to reach a window bound. When a
+// partition implements Advancer, the coordinator's workers call
+// Advance(bound) instead of Kernel().Run(bound); Advance must leave
+// the partition's combined state exactly at bound.
+type Advancer interface {
+	Partition
+	Advance(bound float64)
+}
+
+// advanceOne advances a single partition to bound, through its own
+// sub-protocol when it has one.
+func advanceOne(p Partition, bound float64) {
+	if a, ok := p.(Advancer); ok {
+		a.Advance(bound)
+	} else {
+		p.Kernel().Run(bound)
+	}
+}
+
+// Pool is a persistent set of parked worker goroutines that fan a batch
+// of partitions out for one window. It replaces spawning fresh
+// goroutines per window: workers park on an unbuffered channel between
+// windows and are recruited with non-blocking sends, so offering work
+// costs a few channel operations and zero allocations in steady state.
+//
+// The caller always helps: Advance claims work items itself alongside
+// any recruited workers. That makes nested submission safe — a pool
+// worker advancing an Advancer partition may submit that partition's
+// internal fan-out to the same pool, and even with every worker busy
+// the nested call simply runs its whole batch itself instead of
+// deadlocking on a full pool.
+type Pool struct {
+	work  chan *Batch
+	spare int // worker goroutines beyond the calling one
+}
+
+// Batch is one caller's reusable fan-out state. A Batch may be reused
+// across windows by the same caller, but never concurrently; Advance
+// guarantees every participant is finished with the Batch before it
+// returns, which is what makes reuse race-free.
+type Batch struct {
+	parts []Partition
+	bound float64
+	next  atomic.Int64 // next unclaimed index into parts
+	left  atomic.Int64 // participants still inside exec
+	done  chan struct{}
+}
+
+// NewPool builds a pool sized for `workers`-way parallelism: the caller
+// plus workers-1 parked goroutines. workers < 1 is treated as 1 (no
+// goroutines; Advance runs everything on the caller).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{work: make(chan *Batch), spare: workers - 1}
+	for i := 0; i < p.spare; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// NewBatch returns a fresh reusable fan-out state for one caller.
+func (p *Pool) NewBatch() *Batch {
+	return &Batch{done: make(chan struct{}, 1)}
+}
+
+// Close releases the pool's worker goroutines. The pool must be idle
+// (no Advance in flight); after Close it must not be used again.
+func (p *Pool) Close() { close(p.work) }
+
+func (p *Pool) worker() {
+	for b := range p.work {
+		b.exec()
+	}
+}
+
+// exec claims and advances work items until none remain, then checks
+// out of the batch; the last participant out signals done. Workers
+// recruited too late to claim anything still check out, so the caller's
+// receive on done proves no goroutine holds the Batch anymore.
+func (b *Batch) exec() {
+	for {
+		i := int(b.next.Add(1)) - 1
+		if i >= len(b.parts) {
+			break
+		}
+		advanceOne(b.parts[i], b.bound)
+	}
+	if b.left.Add(-1) == 0 {
+		b.done <- struct{}{}
+	}
+}
+
+// Advance runs every partition in parts to bound using b as the
+// fan-out state, returning when all have finished and no worker
+// references b. Partitions are claimed dynamically (work stealing), so
+// slow partitions do not serialize behind fast ones.
+func (p *Pool) Advance(b *Batch, parts []Partition, bound float64) {
+	if len(parts) == 0 {
+		return
+	}
+	if p.spare == 0 || len(parts) == 1 {
+		for _, part := range parts {
+			advanceOne(part, bound)
+		}
+		return
+	}
+	b.parts = parts
+	b.bound = bound
+	b.next.Store(0)
+	// Pessimistic participant count — every spare worker plus the
+	// caller — set before any worker can observe the batch; the
+	// unrecruited balance is subtracted after the offer round. The
+	// caller has not checked out yet, so the count cannot reach zero
+	// early.
+	b.left.Store(int64(p.spare) + 1)
+	recruited := 0
+	for recruited < p.spare && recruited < len(parts)-1 {
+		select {
+		case p.work <- b:
+			recruited++
+			continue
+		default:
+		}
+		break
+	}
+	if delta := int64(p.spare - recruited); delta != 0 {
+		b.left.Add(-delta)
+	}
+	b.exec()
+	<-b.done
+	b.parts = nil
+}
+
 // Coordinator drives a set of partitions with window barriers.
 type Coordinator struct {
-	parts   []Partition
-	workers int
+	parts []Partition
+	pool  *Pool
+	batch *Batch
 	// exchange applies cross-partition interactions at a barrier time.
 	// It runs single-threaded, after every partition has advanced to
 	// exactly that time and before any partition resumes.
@@ -50,17 +199,26 @@ type Coordinator struct {
 // NewCoordinator builds a coordinator over the given partitions.
 // workers bounds how many partitions advance concurrently within one
 // window (values < 1 mean sequential execution); it affects wall-clock
-// time only, never results. exchange may be nil for fully decoupled
+// time only, never results. Workers beyond the partition count are not
+// clamped: Advancer partitions fan their internal partitions out to the
+// same pool, so the useful degree of parallelism can exceed the
+// top-level count. The workers are created once here as a persistent
+// pool and parked between windows; call Close when done with the
+// coordinator to release them. exchange may be nil for fully decoupled
 // partitions.
 func NewCoordinator(parts []Partition, workers int, exchange func(now float64)) *Coordinator {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(parts) {
-		workers = len(parts)
-	}
-	return &Coordinator{parts: parts, workers: workers, exchange: exchange}
+	pool := NewPool(workers)
+	return &Coordinator{parts: parts, pool: pool, batch: pool.NewBatch(), exchange: exchange}
 }
+
+// Pool returns the coordinator's worker pool, shared with partitions
+// that fan out internally (Advancer implementations) so one set of
+// goroutines serves both levels of the cut.
+func (c *Coordinator) Pool() *Pool { return c.pool }
+
+// Close releases the coordinator's worker pool. The coordinator must
+// not Run again after Close.
+func (c *Coordinator) Close() { c.pool.Close() }
 
 // Now returns the global lower bound on simulation time: every partition
 // has advanced to at least this time.
@@ -80,7 +238,7 @@ func (c *Coordinator) Run(until float64) {
 				bound = h
 			}
 		}
-		c.advanceAll(bound)
+		c.pool.Advance(c.batch, c.parts, bound)
 		c.now = bound
 		if bound >= until {
 			break
@@ -91,37 +249,13 @@ func (c *Coordinator) Run(until float64) {
 	}
 }
 
-// advanceAll runs every partition's kernel to the bound.
-func (c *Coordinator) advanceAll(bound float64) {
-	if c.workers <= 1 || len(c.parts) == 1 {
-		for _, p := range c.parts {
-			p.Kernel().Run(bound)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < c.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(c.parts) {
-					return
-				}
-				c.parts[i].Kernel().Run(bound)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// Message is one cross-partition interaction record, exchanged at a
-// window barrier. The triple (At, Seq, Shard) is its position in the
-// combined event order; Kind and the payload words are owner-defined.
+// Message is one cross-partition interaction record: exchanged at a
+// window barrier, or — for in-window coupling — delivered into the
+// destination kernel at its stamped time via Kernel.DeliverMessage.
+// The triple (At, Seq, Shard) is its position in the combined event
+// order; Kind and the payload words are owner-defined.
 type Message struct {
-	// At is the simulation time of the interaction (the barrier time).
+	// At is the simulation time of the interaction.
 	At float64
 	// Seq orders messages from the same shard at the same time.
 	Seq uint64
@@ -129,8 +263,10 @@ type Message struct {
 	Shard int32
 	// Kind tags the interaction type (owner-defined).
 	Kind int32
-	// A and B are payload words (owner-defined).
-	A, B int64
+	// A, B, C and D are integer payload words (owner-defined).
+	A, B, C, D int64
+	// P is a float payload word (owner-defined).
+	P float64
 }
 
 // SortMessages puts a barrier's messages into the deterministic
